@@ -1,0 +1,27 @@
+"""Session-scoped measurements shared by all figure benchmarks.
+
+``REPRO_SCALE`` (default 2000) sets the base lines per dataset; Log T is
+``size_factor`` times bigger, like the paper's 964 GB outlier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import base_lines, run_suite
+from repro.workloads import production_specs, public_specs
+
+
+@pytest.fixture(scope="session")
+def scale() -> int:
+    return base_lines()
+
+
+@pytest.fixture(scope="session")
+def production_measurements(scale):
+    return run_suite(production_specs(), lines_per_spec=scale)
+
+
+@pytest.fixture(scope="session")
+def public_measurements(scale):
+    return run_suite(public_specs(), lines_per_spec=scale)

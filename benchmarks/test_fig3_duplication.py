@@ -1,0 +1,36 @@
+"""Fig 3 — distribution of single-/multi-pattern variable vectors with
+respect to duplication rate.
+
+Paper: vectors with low duplication rate are almost always single-pattern
+(the assumption behind the tree-expanding extractor); high-duplication
+vectors are a mix — hence pattern merging for those."""
+
+from repro.bench.figures import figure3
+from repro.bench.report import format_table, print_banner
+from repro.workloads import all_specs
+
+
+def test_fig3_distribution(benchmark, scale):
+    buckets = benchmark.pedantic(
+        lambda: figure3(all_specs(), max(scale // 2, 600)), rounds=1, iterations=1
+    )
+    print_banner("Fig 3: variable vectors by duplication rate")
+    print(
+        format_table(
+            ["duplication rate", "single-pattern", "multi-pattern"],
+            [[f"{b.low:.1f}-{b.high:.1f}", b.single, b.multi] for b in buckets],
+        )
+    )
+    low_single = sum(b.single for b in buckets[:5])
+    low_multi = sum(b.multi for b in buckets[:5])
+    high_total = sum(b.single + b.multi for b in buckets[5:])
+    print(
+        f"below 0.5: {low_single} single vs {low_multi} multi; "
+        f"at/above 0.5: {high_total} vectors (mixed)"
+    )
+    # The heuristic's premise: low-duplication vectors are dominated by a
+    # single runtime pattern.
+    assert low_single + low_multi > 0
+    assert low_single >= 4 * max(low_multi, 1) or low_multi == 0
+    # And there must be substantial mass on both sides (bathtub).
+    assert high_total > 0

@@ -1,0 +1,52 @@
+"""Fig 7(c) / §6.2 — compression speed across the five systems.
+
+Paper shape: gzip fastest by an order of magnitude; CLP faster than
+LogGrep; LogGrep faster than ElasticSearch; LG-SP slightly faster than LG
+(runtime-pattern extraction costs extra CPU)."""
+
+from repro.bench.figures import figure7_summary
+from repro.bench.report import format_table, metric_rows, print_banner
+from repro.bench.runner import SYSTEM_ORDER, by_system, geomean
+
+
+def _print_speed(measurements, title):
+    print_banner(title)
+    print(
+        format_table(
+            ["dataset"] + list(SYSTEM_ORDER),
+            metric_rows(measurements, "compression_speed_mb_s", ".2f"),
+        )
+    )
+
+
+def _geo_speed(measurements, system):
+    return geomean(
+        [m.compression_speed_mb_s for m in by_system(measurements)[system]]
+    )
+
+
+def test_fig7c_production_speed_shape(benchmark, production_measurements):
+    speeds = benchmark.pedantic(
+        lambda: {s: _geo_speed(production_measurements, s) for s in SYSTEM_ORDER},
+        rounds=1,
+        iterations=1,
+    )
+    _print_speed(production_measurements, "Fig 7(c): compression speed, production logs (MB/s)")
+    print({k: f"{v:.2f} MB/s" for k, v in speeds.items()})
+    # gzip far ahead of everything else (paper: LG at 0.10x of gzip).
+    assert speeds["ggrep"] > 3 * speeds["LG"]
+    # ES the slowest ingester (paper: LG 8.3x faster than ES).
+    assert speeds["LG"] > speeds["ES"]
+    # LG-SP does strictly less work than LG per block.
+    assert speeds["LG-SP"] >= 0.8 * speeds["LG"]
+
+
+def test_fig7c_public_speed_shape(benchmark, public_measurements):
+    speeds = benchmark.pedantic(
+        lambda: {s: _geo_speed(public_measurements, s) for s in SYSTEM_ORDER},
+        rounds=1,
+        iterations=1,
+    )
+    _print_speed(public_measurements, "§6.2: compression speed, public logs (MB/s)")
+    assert speeds["ggrep"] > 3 * speeds["LG"]
+    assert speeds["LG"] > speeds["ES"]

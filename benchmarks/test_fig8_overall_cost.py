@@ -1,0 +1,91 @@
+"""Fig 8(a)/(b) — Equation 1 overall cost per system, production and
+public suites.
+
+Paper: LogGrep has the lowest overall cost on both suites (34%/34% of
+ggrep, 36%/41% of CLP, 7%/5% of ES, 73%/74% of LG-SP), and the ES
+breakeven query frequency is far above near-line usage."""
+
+from repro.bench.figures import figure8
+from repro.bench.report import cost_rows, print_banner, format_table, relative_costs
+from repro.bench.runner import by_system, geomean
+from repro.cost.model import breakeven_query_frequency
+
+
+def _report(measurements, title):
+    costs = figure8(measurements)
+    print_banner(title)
+    print(
+        format_table(
+            ["system", "storage $/TB", "compression $/TB", "query $/TB", "total $/TB"],
+            cost_rows(costs),
+        )
+    )
+    rel = relative_costs(costs)
+    for system, value in rel.items():
+        print(f"LG total cost = {value * 100:.0f}% of {system}")
+    return costs, rel
+
+
+def test_fig8a_production_cost(benchmark, production_measurements):
+    costs, rel = benchmark.pedantic(
+        lambda: _report(production_measurements, "Fig 8(a): overall cost, production logs"),
+        rounds=1,
+        iterations=1,
+    )
+    assert costs["LG"].total == min(c.total for c in costs.values())
+    assert rel["ggrep"] < 0.8
+    assert rel["CLP"] < 0.8
+    assert rel["ES"] < 0.8
+    assert rel["LG-SP"] < 1.0
+
+
+def test_fig8b_public_cost(benchmark, public_measurements):
+    costs, rel = benchmark.pedantic(
+        lambda: _report(public_measurements, "Fig 8(b): overall cost, public logs"),
+        rounds=1,
+        iterations=1,
+    )
+    assert costs["LG"].total == min(c.total for c in costs.values())
+    assert rel["ggrep"] < 0.9 and rel["CLP"] < 0.9
+
+
+def test_es_breakeven_frequency(benchmark, production_measurements):
+    """§6.1: on logs where ES queries are faster, ES only wins overall at
+    query frequencies far above near-line usage (paper: 7,447-542,194)."""
+
+    def compute():
+        lg = {m.dataset: m for m in by_system(production_measurements)["LG"]}
+        es = {m.dataset: m for m in by_system(production_measurements)["ES"]}
+        frequencies = []
+        for dataset, lg_m in lg.items():
+            es_m = es.get(dataset)
+            if es_m is None or es_m.query_latency_s >= lg_m.query_latency_s:
+                continue
+            from repro.cost.model import overall_cost
+
+            lg_cost = overall_cost(
+                lg_m.compression_ratio,
+                lg_m.compression_speed_mb_s,
+                lg_m.query_latency_s_per_tb,
+            )
+            es_cost = overall_cost(
+                es_m.compression_ratio,
+                es_m.compression_speed_mb_s,
+                es_m.query_latency_s_per_tb,
+            )
+            freq = breakeven_query_frequency(
+                lg_cost,
+                lg_m.query_latency_s_per_tb,
+                es_cost,
+                es_m.query_latency_s_per_tb,
+            )
+            frequencies.append((dataset, freq))
+        return frequencies
+
+    frequencies = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_banner("§6.1: ES breakeven query frequency per log")
+    for dataset, freq in frequencies:
+        print(f"{dataset}: ES wins above {freq:,.0f} queries per retention period")
+    # Every breakeven is far above the near-line default of 100 queries.
+    for _, freq in frequencies:
+        assert freq > 100

@@ -1,0 +1,55 @@
+"""Memory footprint of compression and querying.
+
+The paper's testbed had 188 GB of RAM; a reproduction should show that the
+block-at-a-time design keeps both pipelines bounded: compression holds one
+block's structures, and a selective query materializes only the Capsules
+it actually opened."""
+
+import tracemalloc
+
+from repro.baselines.loggrep_system import LogGrepSystem
+from repro.bench.report import format_table, print_banner
+from repro.bench.runner import BENCH_BLOCK_BYTES
+from repro.core.config import LogGrepConfig
+from repro.workloads import spec_by_name
+
+
+def _peak_mb(func) -> float:
+    tracemalloc.start()
+    func()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak / 1e6
+
+
+def test_memory_footprint(benchmark, scale):
+    spec = spec_by_name("Log T")
+    # Use a few MB so fixed overheads don't dominate the multiples.
+    lines = spec.generate(scale * 4)
+    raw_mb = sum(len(l) + 1 for l in lines) / 1e6
+
+    def measure():
+        system = LogGrepSystem(LogGrepConfig(block_bytes=BENCH_BLOCK_BYTES))
+        compress_peak = _peak_mb(lambda: system.ingest(lines))
+        system.loggrep.clear_query_cache()
+        query_peak = _peak_mb(lambda: system.query(spec.query))
+        return compress_peak, query_peak
+
+    compress_peak, query_peak = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_banner("Memory footprint (tracemalloc peaks)")
+    print(
+        format_table(
+            ["phase", "peak MB", "vs raw"],
+            [
+                ["raw dataset", f"{raw_mb:.1f}", "1.0x"],
+                ["compress", f"{compress_peak:.1f}", f"{compress_peak / raw_mb:.1f}x"],
+                ["query", f"{query_peak:.1f}", f"{query_peak / raw_mb:.2f}x"],
+            ],
+        )
+    )
+    # Compression is block-at-a-time: peak stays within a small multiple
+    # of the raw input (which the harness itself holds in memory).
+    assert compress_peak < 8 * raw_mb + 30
+    # A selective query materializes far less than compression did.
+    assert query_peak < 0.5 * compress_peak
+    assert query_peak < 2 * raw_mb + 30

@@ -1,0 +1,69 @@
+"""Design-choice sweeps: check the paper's fixed constants.
+
+* §4.1: the 0.5 real/nominal threshold is claimed insensitive "as long as
+  it is somewhere in the middle" — the middle of the sweep must be flat.
+* §3: 5% sampling — more sampling buys little, much less costs accuracy.
+* LZMA preset: the classic ratio/speed trade the paper's Packer makes.
+* block size: bigger blocks amortize metadata (better ratio) but raise
+  per-query work.
+"""
+
+from repro.bench.report import format_table, print_banner
+from repro.bench.sweeps import (
+    sweep_block_bytes,
+    sweep_duplication_threshold,
+    sweep_preset,
+    sweep_sample_rate,
+)
+from repro.workloads import spec_by_name
+
+SPECS = [spec_by_name(name) for name in ("Log B", "Log H", "Hdfs")]
+HEADERS = ["value", "ratio", "speed", "query latency"]
+
+
+def test_duplication_threshold_insensitive(benchmark, scale):
+    points = benchmark.pedantic(
+        lambda: sweep_duplication_threshold(SPECS, scale), rounds=1, iterations=1
+    )
+    print_banner("Sweep: duplication-rate threshold (§4.1 claims insensitivity)")
+    print(format_table(HEADERS, [p.row() for p in points]))
+    middle = [p for p in points if 0.25 <= float(p.value) <= 0.75]
+    ratios = [p.compression_ratio for p in middle]
+    latencies = [p.query_latency_s for p in middle]
+    # The middle of the sweep is flat: ratios within 15%, latencies 3x.
+    assert max(ratios) / min(ratios) < 1.15
+    assert max(latencies) / min(latencies) < 3.0
+
+
+def test_sample_rate_sweep(benchmark, scale):
+    points = benchmark.pedantic(
+        lambda: sweep_sample_rate(SPECS, scale), rounds=1, iterations=1
+    )
+    print_banner("Sweep: parser/extractor sampling rate (paper: 5%)")
+    print(format_table(HEADERS, [p.row() for p in points]))
+    by_rate = {float(p.value): p for p in points}
+    # Full sampling compresses no better than 5% by a large margin —
+    # sampling is nearly free in quality (why the paper can afford 5%).
+    assert by_rate[1.0].compression_ratio < 1.25 * by_rate[0.05].compression_ratio
+
+
+def test_preset_sweep(benchmark, scale):
+    points = benchmark.pedantic(
+        lambda: sweep_preset(SPECS, scale), rounds=1, iterations=1
+    )
+    print_banner("Sweep: LZMA preset (the Packer's ratio/speed trade)")
+    print(format_table(HEADERS, [p.row() for p in points]))
+    by_preset = {int(p.value): p for p in points}
+    assert by_preset[9].compression_ratio >= by_preset[0].compression_ratio
+    assert by_preset[0].compression_speed_mb_s > by_preset[9].compression_speed_mb_s
+
+
+def test_block_size_sweep(benchmark, scale):
+    points = benchmark.pedantic(
+        lambda: sweep_block_bytes(SPECS, scale), rounds=1, iterations=1
+    )
+    print_banner("Sweep: log block size")
+    print(format_table(HEADERS, [p.row() for p in points]))
+    smallest, *_, biggest = points
+    # Bigger blocks amortize templates/patterns: the ratio must not drop.
+    assert biggest.compression_ratio >= 0.95 * smallest.compression_ratio

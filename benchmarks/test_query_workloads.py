@@ -1,0 +1,89 @@
+"""Query-class latency distributions (beyond Table 1's single query).
+
+Derives a family of queries per dataset — template hits, nominal tokens,
+rare ids, numerics, wildcards, negations and guaranteed misses — and
+measures LogGrep's latency and filtering behaviour per class.  The paper's
+§6.1 observation that "LogGrep performs better if a query directly hits
+the template" becomes an assertion here."""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.baselines.evalutil import grep_lines
+from repro.baselines.loggrep_system import LogGrepSystem
+from repro.bench.report import format_table, print_banner
+from repro.bench.runner import BENCH_BLOCK_BYTES, geomean
+from repro.core.config import LogGrepConfig
+from repro.workloads import spec_by_name
+from repro.workloads.queries import derived_queries
+
+DATASETS = ["Log A", "Log G", "Log N", "Hdfs", "Spark"]
+
+
+def test_query_class_latencies(benchmark, scale):
+    per_class = defaultdict(list)
+    rows = []
+    systems = {}
+    corpora = {}
+    families = {}
+    for dataset in DATASETS:
+        spec = spec_by_name(dataset)
+        lines = spec.generate(scale)
+        corpora[dataset] = lines
+        system = LogGrepSystem(LogGrepConfig(block_bytes=BENCH_BLOCK_BYTES))
+        system.ingest(lines)
+        systems[dataset] = system
+        families[dataset] = derived_queries(lines)
+
+    def run_all():
+        results = {}
+        for dataset, family in families.items():
+            system = systems[dataset]
+            for query in family:
+                system.loggrep.clear_query_cache()
+                hits, seconds = system.timed_query(query.command)
+                results[(dataset, query.label)] = (len(hits), seconds)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for (dataset, label), (hits, seconds) in results.items():
+        per_class[label].append(seconds)
+        rows.append([dataset, label, hits, f"{seconds * 1000:.1f}"])
+    print_banner("Derived query classes: LogGrep latency")
+    print(format_table(["dataset", "class", "hits", "latency (ms)"], rows))
+    means = {label: geomean(vals) for label, vals in per_class.items()}
+    print({k: f"{v * 1000:.1f}ms" for k, v in means.items()})
+
+    # Correctness of the whole family.
+    for dataset, family in families.items():
+        system = systems[dataset]
+        for query in family:
+            assert system.query(query.command) == grep_lines(
+                query.command, corpora[dataset]
+            ), (dataset, query)
+
+    # Misses must be the cheapest class: everything is filtered.
+    assert means["miss"] <= min(
+        value for label, value in means.items() if label != "miss"
+    ) * 2.0
+
+
+def test_miss_queries_decompress_little(scale, benchmark):
+    spec = spec_by_name("Log G")
+    lines = spec.generate(scale)
+    system = LogGrepSystem(LogGrepConfig(block_bytes=BENCH_BLOCK_BYTES))
+    system.ingest(lines)
+
+    def run():
+        system.loggrep.clear_query_cache()
+        return system.loggrep.grep("zqx_absent_keyword_xqz")
+
+    result = benchmark.pedantic(run, rounds=3)
+    assert result.count == 0
+    print(
+        f"miss query: {result.stats.capsules_decompressed} capsules opened, "
+        f"{result.stats.capsules_filtered} filtered"
+    )
+    assert result.stats.capsules_decompressed <= result.stats.capsules_filtered

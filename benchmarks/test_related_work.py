@@ -1,0 +1,56 @@
+"""§7 related work: compression-only methods vs LogGrep.
+
+Paper: bucket-based and parser-based compressors "usually have a high
+compression ratio, but to execute a query, one needs to decompress data
+first".  This bench adds the Logzip-style and bucket-based systems next to
+gzip+grep and LogGrep on a few datasets and checks that landscape."""
+
+from repro.baselines import BucketCompressor, GzipGrep, LogZip
+from repro.baselines.loggrep_system import LogGrepSystem
+from repro.bench.report import format_table, print_banner
+from repro.bench.runner import BENCH_BLOCK_BYTES, geomean
+from repro.core.config import LogGrepConfig
+from repro.workloads import spec_by_name
+
+DATASETS = ["Log B", "Log H", "Hdfs"]
+
+FACTORIES = {
+    "ggrep": lambda: GzipGrep(block_bytes=BENCH_BLOCK_BYTES),
+    "logzip": lambda: LogZip(block_bytes=BENCH_BLOCK_BYTES),
+    "bucket": BucketCompressor,
+    "LG": lambda: LogGrepSystem(LogGrepConfig(block_bytes=BENCH_BLOCK_BYTES)),
+}
+
+
+def test_related_work_landscape(benchmark, scale):
+    def run():
+        rows = []
+        ratios = {name: [] for name in FACTORIES}
+        latencies = {name: [] for name in FACTORIES}
+        for dataset in DATASETS:
+            spec = spec_by_name(dataset)
+            lines = spec.generate(scale)
+            for name, factory in FACTORIES.items():
+                system = factory()
+                system.ingest(list(lines))
+                _, seconds = system.timed_query(spec.query)
+                ratios[name].append(system.compression_ratio())
+                latencies[name].append(seconds)
+                rows.append(
+                    [dataset, name, f"{system.compression_ratio():.1f}x",
+                     f"{seconds * 1000:.1f}ms"]
+                )
+        return rows, ratios, latencies
+
+    rows, ratios, latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("§7 related work: compression-only methods")
+    print(format_table(["dataset", "system", "ratio", "query latency"], rows))
+
+    geo_ratio = {name: geomean(values) for name, values in ratios.items()}
+    geo_latency = {name: geomean(values) for name, values in latencies.items()}
+    # High ratio...
+    assert geo_ratio["logzip"] > geo_ratio["ggrep"]
+    assert geo_ratio["bucket"] > geo_ratio["ggrep"]
+    # ...but decompress-everything queries, much slower than LogGrep.
+    assert geo_latency["logzip"] > 2 * geo_latency["LG"]
+    assert geo_latency["bucket"] > 2 * geo_latency["LG"]

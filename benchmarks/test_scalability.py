@@ -1,0 +1,78 @@
+"""Scalability and parser-choice benchmarks (extensions).
+
+* Query latency vs archive size: selective queries should grow *sub-
+  linearly* in the raw size thanks to Capsule filtering (most added bytes
+  are never decompressed), while gzip+grep grows linearly by construction.
+* Parser families: the Drain-style miner vs the SLCT-style frequent-token
+  miner — parser choice shifts ratio/latency but never correctness.
+"""
+
+from repro.baselines import GzipGrep, grep_lines
+from repro.baselines.loggrep_system import LogGrepSystem
+from repro.bench.report import format_table, print_banner
+from repro.bench.runner import BENCH_BLOCK_BYTES
+from repro.core.config import LogGrepConfig
+from repro.workloads import spec_by_name
+
+SIZES = (2000, 8000, 32000)
+
+
+def test_latency_scaling_with_archive_size(benchmark):
+    spec = spec_by_name("Log H")
+
+    def measure():
+        rows = []
+        points = []
+        for size in SIZES:
+            lines = spec.generate(size)
+            lg = LogGrepSystem(LogGrepConfig(block_bytes=BENCH_BLOCK_BYTES))
+            lg.ingest(lines)
+            gg = GzipGrep(block_bytes=BENCH_BLOCK_BYTES)
+            gg.ingest(lines)
+            lg.loggrep.clear_query_cache()
+            _, lg_seconds = lg.timed_query(spec.query)
+            _, gg_seconds = gg.timed_query(spec.query)
+            rows.append(
+                [size, f"{lg_seconds * 1000:.1f}", f"{gg_seconds * 1000:.1f}"]
+            )
+            points.append((size, lg_seconds, gg_seconds))
+        return rows, points
+
+    rows, points = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_banner("Scaling: query latency vs dataset size")
+    print(format_table(["lines", "LG (ms)", "ggrep (ms)"], rows))
+
+    (s0, lg0, gg0), (_, _, _), (s2, lg2, gg2) = points
+    growth = s2 / s0
+    # ggrep is ~linear in raw bytes; LogGrep must grow strictly slower.
+    assert gg2 / gg0 > 0.4 * growth
+    assert lg2 / lg0 < gg2 / gg0
+    # And LG stays an order of magnitude below ggrep at the largest size.
+    assert lg2 * 3 < gg2
+
+
+def test_parser_families(benchmark, scale):
+    datasets = ["Log B", "Log H", "Hdfs", "Zookeeper"]
+
+    def measure():
+        rows = []
+        for dataset in datasets:
+            spec = spec_by_name(dataset)
+            lines = spec.generate(scale)
+            for parser in ("drain", "slct"):
+                system = LogGrepSystem(
+                    LogGrepConfig(block_bytes=BENCH_BLOCK_BYTES, parser=parser)
+                )
+                system.ingest(lines)
+                system.loggrep.clear_query_cache()
+                hits, seconds = system.timed_query(spec.query)
+                assert hits == grep_lines(spec.query, lines), (dataset, parser)
+                rows.append(
+                    [dataset, parser, f"{system.compression_ratio():.1f}x",
+                     f"{seconds * 1000:.1f}ms"]
+                )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_banner("Parser families: Drain-style vs SLCT-style")
+    print(format_table(["dataset", "parser", "ratio", "query latency"], rows))

@@ -1,0 +1,39 @@
+"""Table 1 — the evaluation query of every dataset, executed on LogGrep.
+
+Prints each dataset's query command with its hit count and verifies every
+query against the reference evaluator (all five systems already agree —
+see tests/test_baselines.py — so LG stands in for the lineup here)."""
+
+from repro.baselines.evalutil import grep_lines
+from repro.baselines.loggrep_system import LogGrepSystem
+from repro.bench.report import format_table, print_banner
+from repro.bench.runner import BENCH_BLOCK_BYTES
+from repro.core.config import LogGrepConfig
+from repro.workloads import all_specs
+
+
+def test_table1_all_queries(benchmark, scale):
+    specs = all_specs()
+    corpora = {spec.name: spec.generate(max(scale // 2, 600)) for spec in specs}
+    systems = {}
+    for spec in specs:
+        system = LogGrepSystem(LogGrepConfig(block_bytes=BENCH_BLOCK_BYTES))
+        system.ingest(corpora[spec.name])
+        systems[spec.name] = system
+
+    def run_all():
+        return {
+            spec.name: systems[spec.name].query(spec.query) for spec in specs
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for spec in specs:
+        expected = grep_lines(spec.query, corpora[spec.name])
+        got = results[spec.name]
+        assert got == expected, spec.name
+        assert got, f"{spec.name}: query returned nothing"
+        rows.append([spec.name, str(len(got)), spec.query])
+    print_banner("Table 1: query commands and hit counts")
+    print(format_table(["dataset", "hits", "query"], rows))

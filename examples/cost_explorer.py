@@ -1,0 +1,73 @@
+"""Cost explorer: Equation 1 over all five systems on one dataset.
+
+Reproduces §6.1's reasoning in miniature: measure compression ratio,
+compression speed and query latency for gzip+grep, CLP, mini-ES,
+LogGrep-SP and LogGrep, fold them through the paper's cost model, and
+compute the ES breakeven query frequency.
+
+Run with::
+
+    python examples/cost_explorer.py [dataset-name]
+"""
+
+import sys
+
+from repro.bench.runner import measure_system, system_factories, SYSTEM_ORDER
+from repro.cost.model import (
+    CostParameters,
+    breakeven_query_frequency,
+    overall_cost,
+)
+from repro.workloads import spec_by_name
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "Log B"
+    spec = spec_by_name(dataset)
+    lines = spec.generate(6000)
+    print(f"dataset: {spec.name} — {spec.description}")
+    print(f"query:   {spec.query}")
+    print(f"lines:   {len(lines)} ({sum(len(l) + 1 for l in lines):,} bytes)\n")
+
+    factories = system_factories()
+    measurements = {}
+    costs = {}
+    header = f"{'system':7s} {'ratio':>7s} {'speed MB/s':>11s} {'query ms':>9s} {'$/TB':>8s}"
+    print(header)
+    print("-" * len(header))
+    for name in SYSTEM_ORDER:
+        m = measure_system(spec, lines, factories[name])
+        cost = overall_cost(
+            m.compression_ratio, m.compression_speed_mb_s, m.query_latency_s_per_tb
+        )
+        measurements[name] = m
+        costs[name] = cost
+        print(
+            f"{name:7s} {m.compression_ratio:7.2f} {m.compression_speed_mb_s:11.2f} "
+            f"{m.query_latency_s * 1000:9.1f} {cost.total:8.2f}"
+        )
+
+    lg = costs["LG"]
+    print()
+    for name in SYSTEM_ORDER:
+        if name == "LG":
+            continue
+        print(f"LogGrep costs {lg.total / costs[name].total * 100:5.1f}% of {name}")
+
+    # §6.1: when would ES's fast queries amortize its storage premium?
+    es_m, lg_m = measurements["ES"], measurements["LG"]
+    if es_m.query_latency_s < lg_m.query_latency_s:
+        frequency = breakeven_query_frequency(
+            lg, lg_m.query_latency_s_per_tb, costs["ES"], es_m.query_latency_s_per_tb
+        )
+        print(
+            f"\nES becomes cheaper than LogGrep only above {frequency:,.0f} queries "
+            f"per {CostParameters().duration_months:.0f}-month retention — near-line "
+            "logs see ~100."
+        )
+    else:
+        print("\nOn this dataset LogGrep queries are faster than ES outright.")
+
+
+if __name__ == "__main__":
+    main()

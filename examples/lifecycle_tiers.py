@@ -1,0 +1,59 @@
+"""The log lifecycle (§1): near-line LogGrep → offline archive.
+
+Shows the near-line/offline trade-off end-to-end: compress a dataset into
+the near-line tier, age it into the offline tier (merged blocks, maximum
+LZMA), and use Equation 1 to decide whether the rewrite pays off.
+
+Run with::
+
+    python examples/lifecycle_tiers.py
+"""
+
+from repro import LogGrep, LogGrepConfig
+from repro.core.lifecycle import archive_offline, transition_analysis
+from repro.workloads import spec_by_name
+
+
+def main() -> None:
+    spec = spec_by_name("Log H")
+    lines = spec.generate(15000)
+
+    nearline = LogGrep(config=LogGrepConfig(block_bytes=256 * 1024))
+    report = nearline.compress(lines)
+    print(
+        f"near-line tier: {report.blocks} blocks, ratio {report.ratio:.1f}x, "
+        f"{report.speed_mb_s:.2f} MB/s ingest"
+    )
+    result = nearline.grep(spec.query)
+    print(f"  query latency: {result.elapsed * 1000:.1f} ms ({result.count} hits)")
+
+    offline, off = archive_offline(nearline)
+    print(
+        f"\noffline tier:   {off.offline_blocks} block(s) "
+        f"(merged from {off.nearline_blocks}), "
+        f"{off.ratio_gain:.2f}x smaller than near-line"
+    )
+    result = offline.grep(spec.query)
+    print(f"  query latency: {result.elapsed * 1000:.1f} ms (still queryable)")
+
+    speed = (off.raw_bytes / 1e6) / off.recompress_seconds
+    nearline_ratio = off.raw_bytes / off.nearline_bytes
+    offline_ratio = off.raw_bytes / off.offline_bytes
+    analysis = transition_analysis(nearline_ratio, offline_ratio, speed)
+    print(
+        f"\nEquation 1 says: near-line storage {analysis.nearline_monthly_per_tb:.2f} "
+        f"$/TB-month vs offline {analysis.offline_monthly_per_tb:.2f}; "
+        f"rewrite costs {analysis.recompression_cost_per_tb:.2f} $/TB"
+    )
+    if analysis.breakeven_months == float("inf"):
+        print("the rewrite never pays off for this dataset")
+    else:
+        print(
+            f"the rewrite pays for itself after {analysis.breakeven_months:.1f} "
+            f"month(s) in the offline tier"
+            + (" — worth doing" if analysis.worthwhile_within else "")
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""A tour of the compression pipeline's internals (paper §4, Figs 4-5).
+
+Shows what LogGrep actually builds from a block: mined static patterns,
+per-vector classification, extracted runtime patterns, Capsules and their
+stamps — the machinery behind the query speedups.
+
+Run with::
+
+    python examples/runtime_patterns_tour.py
+"""
+
+from repro.blockstore.block import LogBlock
+from repro.capsule.assembler import (
+    NominalEncodedVector,
+    PlainEncodedVector,
+    RealEncodedVector,
+)
+from repro.common import chartypes
+from repro.core.compressor import compress_block
+from repro.core.config import LogGrepConfig
+from repro.runtime.classify import classify_with_rate
+from repro.workloads import spec_by_name
+
+
+def describe_stamp(stamp) -> str:
+    return f"typ={stamp.type_mask:06b} ({chartypes.describe(stamp.type_mask)}), len={stamp.max_len}"
+
+
+def main() -> None:
+    spec = spec_by_name("Log G")
+    lines = spec.generate(3000)
+    print(f"dataset: {spec.name} — {spec.description}")
+    print(f"sample entry: {lines[0]}\n")
+
+    box = compress_block(LogBlock(0, 0, lines), LogGrepConfig())
+    print(f"{len(box.groups)} group(s), {box.capsule_count()} capsule(s)\n")
+
+    for group in box.groups:
+        print(f"static pattern: {group.template.display()}")
+        print(f"  entries: {group.num_entries}")
+        for var_idx, encoded in enumerate(group.vectors):
+            raw_values = None
+            if isinstance(encoded, RealEncodedVector):
+                print(
+                    f"  var {var_idx}: REAL — runtime pattern "
+                    f"{encoded.pattern.display()!r}"
+                )
+                for k, capsule in enumerate(encoded.subvar_capsules):
+                    print(
+                        f"      <sv{k}> capsule: {capsule.count} values, "
+                        f"{describe_stamp(capsule.stamp)}, "
+                        f"{capsule.compressed_bytes} bytes compressed"
+                    )
+                if encoded.outlier_capsule is not None:
+                    print(
+                        f"      outliers: {len(encoded.outlier_rows)} values "
+                        "(scanned by every query — extraction accuracy is a "
+                        "performance matter, never correctness)"
+                    )
+            elif isinstance(encoded, NominalEncodedVector):
+                print(f"  var {var_idx}: NOMINAL — dictionary of {encoded.dict_size}")
+                for dp in encoded.dict_patterns:
+                    print(f"      pattern {dp.display()}")
+                print(
+                    f"      index capsule: IdxLen={encoded.index_width}, "
+                    f"{encoded.index_capsule.compressed_bytes} bytes"
+                )
+            elif isinstance(encoded, PlainEncodedVector):
+                print(
+                    f"  var {var_idx}: PLAIN — {describe_stamp(encoded.capsule.stamp)}"
+                )
+        print()
+
+
+if __name__ == "__main__":
+    main()

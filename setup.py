@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (offline environments without the
+``wheel`` package cannot use PEP 517 editable wheels)."""
+
+from setuptools import setup
+
+setup()

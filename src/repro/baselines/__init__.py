@@ -1,0 +1,27 @@
+"""The §6 comparators: gzip+grep, CLP, mini-ElasticSearch, LogGrep-SP,
+plus the LogGrep adapter and the reference line evaluator."""
+
+from .base import LogStoreSystem
+from .bucket import BucketCompressor
+from .clp import CLP
+from .elastic import MiniElastic, analyze
+from .evalutil import grep_lines, line_matches, search_string_in_line
+from .gzip_grep import GzipGrep
+from .loggrep_sp import LogGrepSP
+from .loggrep_system import LogGrepSystem
+from .logzip import LogZip
+
+__all__ = [
+    "LogStoreSystem",
+    "GzipGrep",
+    "CLP",
+    "MiniElastic",
+    "analyze",
+    "LogGrepSP",
+    "LogGrepSystem",
+    "LogZip",
+    "BucketCompressor",
+    "grep_lines",
+    "line_matches",
+    "search_string_in_line",
+]

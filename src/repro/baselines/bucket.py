@@ -1,0 +1,97 @@
+"""Bucket-based log compression (related work, §7 — MLC/Cowic family).
+
+Bucket-based methods group similar log entries and compress each bucket
+independently: similarity improves the codec's context, so the ratio beats
+compressing the raw stream, but — like every compression-only method — a
+query must decompress all buckets and scan.
+
+Entries are bucketed by a cheap similarity signature (token count plus the
+digit-masked leading tokens), each bucket's text is LZMA-compressed, and
+original order is restored from per-entry sequence numbers.
+"""
+
+from __future__ import annotations
+
+import lzma
+import time
+from typing import Dict, List, Sequence, Tuple
+
+from ..common.binio import BinaryReader, BinaryWriter
+from ..common.tokenizer import tokenize
+from ..query.language import parse_query
+from .base import LogStoreSystem
+from .evalutil import line_matches
+
+_DIGIT_MASK = str.maketrans("0123456789", "##########")
+
+#: Entries per flush unit, so memory stays bounded for big ingests.
+DEFAULT_FLUSH_LINES = 50_000
+
+
+def _signature(line: str) -> str:
+    tokens = tokenize(line)
+    head = " ".join(token.translate(_DIGIT_MASK) for token in tokens[:3])
+    return f"{len(tokens)}|{head}"
+
+
+class BucketCompressor(LogStoreSystem):
+    """Similarity-bucketed compression; decompress-then-grep queries."""
+
+    name = "bucket"
+
+    def __init__(self, flush_lines: int = DEFAULT_FLUSH_LINES, preset: int = 6):
+        super().__init__()
+        self.flush_lines = flush_lines
+        self.preset = preset
+        self._chunks: List[bytes] = []
+        self._pending: List[str] = []
+
+    # ------------------------------------------------------------------
+    def ingest(self, lines: Sequence[str]) -> None:
+        start = time.perf_counter()
+        for line in lines:
+            self.raw_bytes += len(line) + 1
+            self._pending.append(line)
+            if len(self._pending) >= self.flush_lines:
+                self._flush()
+        self._flush()
+        self.compress_seconds += time.perf_counter() - start
+
+    def _flush(self) -> None:
+        if not self._pending:
+            return
+        buckets: Dict[str, List[Tuple[int, str]]] = {}
+        for seq, line in enumerate(self._pending):
+            buckets.setdefault(_signature(line), []).append((seq, line))
+        writer = BinaryWriter()
+        writer.write_varint(len(self._pending))
+        writer.write_varint(len(buckets))
+        for members in buckets.values():
+            writer.write_u32_array([seq for seq, _ in members])
+            writer.write_str_list([line for _, line in members])
+        self._chunks.append(lzma.compress(writer.getvalue(), preset=self.preset))
+        self._pending = []
+
+    # ------------------------------------------------------------------
+    def _decompress_chunk(self, blob: bytes) -> List[str]:
+        reader = BinaryReader(lzma.decompress(blob))
+        total = reader.read_varint()
+        lines: List[str] = [""] * total
+        for _ in range(reader.read_varint()):
+            sequence = reader.read_u32_array()
+            members = reader.read_str_list()
+            for seq, line in zip(sequence, members):
+                lines[seq] = line
+        return lines
+
+    def query(self, command: str) -> List[str]:
+        parsed = parse_query(command)
+        out: List[str] = []
+        for blob in self._chunks:
+            for line in self._decompress_chunk(blob):
+                if line_matches(parsed, line):
+                    out.append(line)
+        return out
+
+    def storage_bytes(self) -> int:
+        return sum(len(blob) for blob in self._chunks)

@@ -1,0 +1,76 @@
+"""Reference query evaluation over raw lines.
+
+Every baseline verifies its candidate lines with this evaluator, so all
+five systems agree exactly on query semantics (the tests assert it).  The
+semantics mirror the LogGrep engine's token model: a single-keyword search
+string matches as a substring of some token; a multi-keyword string must
+match consecutive tokens (suffix / exact / prefix); ``*``/``?`` wildcards
+stay within one token.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..common.tokenizer import tokenize
+from ..query.language import Keyword, QueryCommand, SearchString, parse_query
+from ..query.modes import MatchMode
+
+
+def keyword_matches_token(keyword: Keyword, token: str, mode: MatchMode) -> bool:
+    if keyword.needs_regex:
+        return keyword.regex_for(mode).search(token) is not None
+    text = keyword.text
+    if mode is MatchMode.EXACT:
+        return token == text
+    if mode is MatchMode.PREFIX:
+        return token.startswith(text)
+    if mode is MatchMode.SUFFIX:
+        return token.endswith(text)
+    return text in token
+
+
+def search_string_in_line(search: SearchString, tokens: Sequence[str]) -> bool:
+    keywords = search.keywords
+    k = len(keywords)
+    if k == 1:
+        keyword = keywords[0]
+        return any(
+            keyword_matches_token(keyword, token, MatchMode.SUBSTRING)
+            for token in tokens
+        )
+    for start in range(0, len(tokens) - k + 1):
+        for j, keyword in enumerate(keywords):
+            if j == 0:
+                mode = MatchMode.SUFFIX
+            elif j == k - 1:
+                mode = MatchMode.PREFIX
+            else:
+                mode = MatchMode.EXACT
+            if not keyword_matches_token(keyword, tokens[start + j], mode):
+                break
+        else:
+            return True
+    return False
+
+
+def line_matches(command: QueryCommand, line: str) -> bool:
+    tokens = tokenize(line)
+    for disjunct in command.disjuncts:
+        ok = True
+        for term in disjunct:
+            hit = search_string_in_line(term.search, tokens)
+            if hit == term.negated:
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def grep_lines(
+    command_text: str, lines: Sequence[str], ignore_case: bool = False
+) -> List[str]:
+    """Reference implementation: evaluate a command over raw lines."""
+    command = parse_query(command_text, ignore_case)
+    return [line for line in lines if line_matches(command, line)]

@@ -1,0 +1,22 @@
+"""LogGrep-SP: the §2.2 "first attempt" — static patterns only.
+
+Logs are parsed into variable vectors exactly like full LogGrep, each
+vector is compressed whole with a vector-level summary (type number + max
+length), and there is no runtime-pattern structurization, no fixed-length
+padding and no dictionary/index split.  The paper evaluates this version
+to isolate the gain of runtime patterns (Fig 7/8's "LG-SP" series).
+"""
+
+from __future__ import annotations
+
+from ..core.config import LogGrepConfig, sp_config
+from .loggrep_system import LogGrepSystem
+
+
+class LogGrepSP(LogGrepSystem):
+    """LogGrep restricted to static-pattern structurization."""
+
+    name = "LG-SP"
+
+    def __init__(self, config: LogGrepConfig = None):
+        super().__init__(sp_config(config))

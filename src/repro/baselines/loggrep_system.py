@@ -1,0 +1,32 @@
+"""Adapter presenting :class:`~repro.core.loggrep.LogGrep` through the
+common :class:`~repro.baselines.base.LogStoreSystem` interface, so the
+benchmark harness drives it like every comparator."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.config import LogGrepConfig
+from ..core.loggrep import LogGrep
+from .base import LogStoreSystem
+
+
+class LogGrepSystem(LogStoreSystem):
+    """Full LogGrep behind the benchmark interface."""
+
+    name = "LG"
+
+    def __init__(self, config: Optional[LogGrepConfig] = None):
+        super().__init__()
+        self.loggrep = LogGrep(config=config or LogGrepConfig())
+
+    def ingest(self, lines: Sequence[str]) -> None:
+        self.loggrep.compress(lines)
+        self.compress_seconds = self.loggrep.compress_seconds
+        self.raw_bytes = self.loggrep.raw_bytes
+
+    def query(self, command: str) -> List[str]:
+        return self.loggrep.grep(command).lines
+
+    def storage_bytes(self) -> int:
+        return self.loggrep.storage_bytes()

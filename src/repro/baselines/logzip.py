@@ -1,0 +1,105 @@
+"""Logzip-style parser-based compression (related work, §7).
+
+Logzip (Liu et al., ASE'19) extracts hidden structure via iterative
+clustering and compresses templates and variable columns — achieving high
+compression ratios, but with **no query support on compressed data**: a
+query must decompress everything first.  This stand-in shares LogGrep's
+parser, stores each block as columnar structure (template ids + variable
+columns) LZMA-compressed *as one unit* — no Capsules, no stamps, no
+selective decompression — and scans decompressed lines at query time.
+
+It demonstrates the paper's point about this family: the ratio is as good
+as (often slightly better than) LogGrep's because there is no per-Capsule
+metadata, but every query pays the full decompression + scan cost.
+"""
+
+from __future__ import annotations
+
+import lzma
+import time
+from typing import List, Sequence
+
+from ..blockstore.block import split_lines
+from ..common.binio import BinaryReader, BinaryWriter
+from ..query.language import parse_query
+from ..staticparse.parser import BlockParser
+from ..staticparse.template import Template
+from .base import LogStoreSystem
+from .evalutil import line_matches
+
+#: Keep blocks comparable to the other systems at bench scale.
+DEFAULT_BLOCK_BYTES = 1 << 20
+
+
+class LogZip(LogStoreSystem):
+    """High-ratio columnar log compression without query support."""
+
+    name = "logzip"
+
+    def __init__(self, block_bytes: int = DEFAULT_BLOCK_BYTES, preset: int = 6):
+        super().__init__()
+        self.block_bytes = block_bytes
+        self.preset = preset
+        self._blocks: List[bytes] = []
+
+    # ------------------------------------------------------------------
+    def ingest(self, lines: Sequence[str]) -> None:
+        start = time.perf_counter()
+        for block in split_lines(lines, self.block_bytes):
+            self.raw_bytes += block.raw_bytes
+            self._blocks.append(self._compress_block(block.lines))
+        self.compress_seconds += time.perf_counter() - start
+
+    def _compress_block(self, lines: Sequence[str]) -> bytes:
+        parsed = BlockParser().parse(lines)
+        writer = BinaryWriter()
+        writer.write_varint(len(lines))
+        writer.write_varint(len(parsed.groups))
+        for group in parsed.groups:
+            template = group.template
+            writer.write_varint(len(template.tokens))
+            for token in template.tokens:
+                if token is None:
+                    writer.write_u8(1)
+                else:
+                    writer.write_u8(0)
+                    writer.write_str(token)
+            writer.write_u32_array(group.line_ids)
+            # Columnar variable storage: values of one variable together.
+            for vector in group.variable_vectors:
+                writer.write_str_list(list(vector))
+        return lzma.compress(writer.getvalue(), preset=self.preset)
+
+    # ------------------------------------------------------------------
+    def _decompress_block(self, blob: bytes) -> List[str]:
+        reader = BinaryReader(lzma.decompress(blob))
+        num_lines = reader.read_varint()
+        lines: List[str] = [""] * num_lines
+        for _ in range(reader.read_varint()):
+            tokens = []
+            for _ in range(reader.read_varint()):
+                if reader.read_u8() == 1:
+                    tokens.append(None)
+                else:
+                    tokens.append(reader.read_str())
+            template = Template(0, tokens)
+            line_ids = reader.read_u32_array()
+            columns = [
+                reader.read_str_list() for _ in range(template.num_variables)
+            ]
+            for row, line_id in enumerate(line_ids):
+                values = [column[row] for column in columns]
+                lines[line_id] = template.render(values)
+        return lines
+
+    def query(self, command: str) -> List[str]:
+        parsed = parse_query(command)
+        out: List[str] = []
+        for blob in self._blocks:
+            for line in self._decompress_block(blob):
+                if line_matches(parsed, line):
+                    out.append(line)
+        return out
+
+    def storage_bytes(self) -> int:
+        return sum(len(blob) for blob in self._blocks)

@@ -1,0 +1,133 @@
+"""Design-choice parameter sweeps.
+
+The paper fixes several constants — the 0.5 duplication-rate threshold
+(§4.1, with the claim that the bathtub distribution makes it insensitive),
+the 5% sampling rate (§3), LZMA as the second-stage codec (§3) — and this
+module sweeps each so the benchmarks can check the claims rather than
+inherit them:
+
+* :func:`sweep_duplication_threshold` — ratio/latency across thresholds;
+* :func:`sweep_sample_rate` — parsing sample size vs speed and ratio;
+* :func:`sweep_preset` — the LZMA ratio/speed trade;
+* :func:`sweep_block_bytes` — block size vs everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Sequence
+
+from ..baselines.loggrep_system import LogGrepSystem
+from ..core.config import LogGrepConfig
+from ..workloads.spec import LogSpec
+from .runner import BENCH_BLOCK_BYTES
+
+
+@dataclass
+class SweepPoint:
+    """One configuration's measurements, averaged over the datasets."""
+
+    value: object
+    compression_ratio: float
+    compression_speed_mb_s: float
+    query_latency_s: float
+
+    def row(self) -> List[str]:
+        return [
+            str(self.value),
+            f"{self.compression_ratio:.2f}x",
+            f"{self.compression_speed_mb_s:.2f}MB/s",
+            f"{self.query_latency_s * 1000:.1f}ms",
+        ]
+
+
+def _measure(
+    specs: Sequence[LogSpec], lines_per_spec: int, config: LogGrepConfig
+) -> SweepPoint:
+    ratios: List[float] = []
+    speeds: List[float] = []
+    latencies: List[float] = []
+    for spec in specs:
+        lines = spec.generate(lines_per_spec)
+        system = LogGrepSystem(config)
+        system.ingest(lines)
+        system.loggrep.clear_query_cache()
+        _, seconds = system.timed_query(spec.query)
+        ratios.append(system.compression_ratio())
+        speeds.append(system.compression_speed_mb_s())
+        latencies.append(seconds)
+    n = len(specs)
+    return SweepPoint(
+        None,
+        sum(ratios) / n,
+        sum(speeds) / n,
+        sum(latencies) / n,
+    )
+
+
+def _sweep(
+    specs: Sequence[LogSpec],
+    lines_per_spec: int,
+    values: Sequence[object],
+    configure: Callable[[LogGrepConfig, object], LogGrepConfig],
+) -> List[SweepPoint]:
+    base = LogGrepConfig(block_bytes=BENCH_BLOCK_BYTES)
+    out: List[SweepPoint] = []
+    for value in values:
+        point = _measure(specs, lines_per_spec, configure(base, value))
+        point.value = value
+        out.append(point)
+    return out
+
+
+def sweep_duplication_threshold(
+    specs: Sequence[LogSpec],
+    lines_per_spec: int,
+    thresholds: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+) -> List[SweepPoint]:
+    """§4.1's claim: anywhere 'in the middle' behaves about the same."""
+    return _sweep(
+        specs,
+        lines_per_spec,
+        thresholds,
+        lambda base, value: replace(base, duplication_threshold=value),
+    )
+
+
+def sweep_sample_rate(
+    specs: Sequence[LogSpec],
+    lines_per_spec: int,
+    rates: Sequence[float] = (0.01, 0.05, 0.2, 1.0),
+) -> List[SweepPoint]:
+    return _sweep(
+        specs,
+        lines_per_spec,
+        rates,
+        lambda base, value: replace(base, sample_rate=value),
+    )
+
+
+def sweep_preset(
+    specs: Sequence[LogSpec],
+    lines_per_spec: int,
+    presets: Sequence[int] = (0, 1, 6, 9),
+) -> List[SweepPoint]:
+    return _sweep(
+        specs,
+        lines_per_spec,
+        presets,
+        lambda base, value: replace(base, preset=value),
+    )
+
+
+def sweep_block_bytes(
+    specs: Sequence[LogSpec],
+    lines_per_spec: int,
+    sizes: Sequence[int] = (64 * 1024, 256 * 1024, 1 << 20, 4 << 20),
+) -> List[SweepPoint]:
+    return _sweep(
+        specs,
+        lines_per_spec,
+        sizes,
+        lambda base, value: replace(base, block_bytes=value),
+    )

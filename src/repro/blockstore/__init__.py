@@ -1,0 +1,13 @@
+"""Log-block splitting and archive blob storage."""
+
+from .block import DEFAULT_BLOCK_BYTES, LogBlock, block_from_text, split_lines
+from .store import ArchiveStore, MemoryStore
+
+__all__ = [
+    "LogBlock",
+    "split_lines",
+    "block_from_text",
+    "DEFAULT_BLOCK_BYTES",
+    "ArchiveStore",
+    "MemoryStore",
+]

@@ -1,0 +1,79 @@
+"""Filesystem archive store.
+
+Every system in this repo (LogGrep, LogGrep-SP, CLP, mini-ES, gzip+grep)
+persists one opaque byte blob per compressed log block.  The store measures
+exactly what the cost model charges for: total stored bytes.
+
+An in-memory variant is provided for tests and benchmarks that should not
+touch the disk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List
+
+
+class ArchiveStore:
+    """Named blob storage rooted at a directory."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, name: str) -> str:
+        if os.sep in name or name.startswith("."):
+            raise ValueError(f"invalid archive name {name!r}")
+        return os.path.join(self.root, name)
+
+    def put(self, name: str, data: bytes) -> None:
+        with open(self._path(name), "wb") as fh:
+            fh.write(data)
+
+    def get(self, name: str) -> bytes:
+        with open(self._path(name), "rb") as fh:
+            return fh.read()
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self._path(name))
+
+    def names(self) -> List[str]:
+        return sorted(os.listdir(self.root))
+
+    def items(self) -> Iterator[tuple]:
+        for name in self.names():
+            yield name, self.get(name)
+
+    def total_bytes(self) -> int:
+        return sum(
+            os.path.getsize(os.path.join(self.root, name)) for name in self.names()
+        )
+
+    def delete(self, name: str) -> None:
+        os.remove(self._path(name))
+
+
+class MemoryStore(ArchiveStore):
+    """Drop-in ArchiveStore that keeps blobs in a dict."""
+
+    def __init__(self):  # pylint: disable=super-init-not-called
+        self._blobs: Dict[str, bytes] = {}
+        self.root = "<memory>"
+
+    def put(self, name: str, data: bytes) -> None:
+        self._blobs[name] = bytes(data)
+
+    def get(self, name: str) -> bytes:
+        return self._blobs[name]
+
+    def exists(self, name: str) -> bool:
+        return name in self._blobs
+
+    def names(self) -> List[str]:
+        return sorted(self._blobs)
+
+    def total_bytes(self) -> int:
+        return sum(len(blob) for blob in self._blobs.values())
+
+    def delete(self, name: str) -> None:
+        del self._blobs[name]

@@ -1,0 +1,36 @@
+"""Capsules, stamps, the Assembler and the CapsuleBox container (§4)."""
+
+from .assembler import (
+    ENC_NOMINAL,
+    ENC_PLAIN,
+    ENC_REAL,
+    EncodedVector,
+    EncodingOptions,
+    NominalEncodedVector,
+    PlainEncodedVector,
+    RealEncodedVector,
+    encode_plain,
+    encode_vector,
+)
+from .box import CapsuleBox, GroupBox
+from .capsule import Capsule, LAYOUT_FIXED, LAYOUT_VARIABLE
+from .stamp import CapsuleStamp
+
+__all__ = [
+    "Capsule",
+    "CapsuleStamp",
+    "CapsuleBox",
+    "GroupBox",
+    "EncodingOptions",
+    "EncodedVector",
+    "RealEncodedVector",
+    "NominalEncodedVector",
+    "PlainEncodedVector",
+    "encode_vector",
+    "encode_plain",
+    "ENC_REAL",
+    "ENC_NOMINAL",
+    "ENC_PLAIN",
+    "LAYOUT_FIXED",
+    "LAYOUT_VARIABLE",
+]

@@ -1,0 +1,386 @@
+"""CapsuleBox: the on-disk unit holding one compressed log block (Fig 1).
+
+A CapsuleBox contains every Capsule of a block plus the metadata needed to
+query and reconstruct it: static patterns (templates), per-group entry line
+ids, runtime patterns and Capsule stamps.
+
+Layout::
+
+    MAGIC "LGCB" | version u8 | meta_len u32 | zlib(meta) | payload blobs
+
+The metadata section is small and zlib-compressed as a whole; Capsule
+payloads live *outside* it, referenced by (offset, length), so a query can
+load the metadata cheaply and decompress only the Capsules the Locator
+could not filter out — the selective-decompression property the whole
+design exists for.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from itertools import accumulate
+from typing import List, Optional
+
+from ..common.binio import BinaryReader, BinaryWriter
+from ..common.bloom import BloomFilter
+from ..common.errors import FormatError
+from ..runtime.merge import DictPattern
+from ..runtime.pattern import RuntimePattern
+from ..staticparse.template import Template
+from .assembler import (
+    ENC_NOMINAL,
+    ENC_PLAIN,
+    ENC_REAL,
+    EncodedVector,
+    NominalEncodedVector,
+    PlainEncodedVector,
+    RealEncodedVector,
+)
+from .capsule import Capsule
+from .stamp import CapsuleStamp
+
+MAGIC = b"LGCB"
+VERSION = 1
+
+
+@dataclass
+class GroupBox:
+    """One group (static pattern + its encoded variable vectors)."""
+
+    template: Template
+    line_ids: List[int]
+    vectors: List[EncodedVector]
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.line_ids)
+
+
+@dataclass
+class CapsuleBox:
+    """All Capsules and metadata of one compressed log block."""
+
+    block_id: int
+    first_line_id: int
+    num_lines: int
+    padded: bool
+    groups: List[GroupBox]
+    #: Optional block-level trigram Bloom filter (extension): lets a query
+    #: skip the whole box without decompressing its metadata.
+    bloom: Optional[BloomFilter] = None
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def serialize(self) -> bytes:
+        # The Bloom filter sits uncompressed before the metadata section so
+        # read_bloom() can prune a block without touching zlib.
+        bloom_writer = BinaryWriter()
+        if self.bloom is not None:
+            bloom_writer.write_u8(1)
+            self.bloom.write(bloom_writer)
+        else:
+            bloom_writer.write_u8(0)
+        bloom_bytes = bloom_writer.getvalue()
+
+        writer = BinaryWriter()
+        blobs: List[bytes] = []
+        offset = [0]
+
+        writer.write_varint(self.block_id)
+        writer.write_varint(self.first_line_id)
+        writer.write_varint(self.num_lines)
+        writer.write_u8(1 if self.padded else 0)
+        writer.write_varint(len(self.groups))
+        for group in self.groups:
+            _write_template(writer, group.template)
+            _write_line_ids(writer, group.line_ids)
+            writer.write_varint(len(group.vectors))
+            for vector in group.vectors:
+                _write_vector(writer, vector, blobs, offset)
+
+        meta = zlib.compress(writer.getvalue(), 6)
+        head = BinaryWriter()
+        head.write_u32(len(bloom_bytes))
+        head.write_u32(len(meta))
+        return (
+            MAGIC
+            + bytes([VERSION])
+            + head.getvalue()
+            + bloom_bytes
+            + meta
+            + b"".join(blobs)
+        )
+
+    @staticmethod
+    def _sections(data: bytes):
+        if data[:4] != MAGIC:
+            raise FormatError("not a CapsuleBox: bad magic")
+        if data[4] != VERSION:
+            raise FormatError(f"unsupported CapsuleBox version {data[4]}")
+        bloom_len = int.from_bytes(data[5:9], "little")
+        meta_len = int.from_bytes(data[9:13], "little")
+        bloom_start = 13
+        meta_start = bloom_start + bloom_len
+        meta_end = meta_start + meta_len
+        if meta_end > len(data):
+            raise FormatError("truncated CapsuleBox metadata")
+        return bloom_start, meta_start, meta_end
+
+    @classmethod
+    def read_bloom(cls, data: bytes) -> Optional[BloomFilter]:
+        """Read only the block-level Bloom filter (cheap pruning path)."""
+        bloom_start, meta_start, _ = cls._sections(data)
+        reader = BinaryReader(data[bloom_start:meta_start])
+        if reader.read_u8() == 0:
+            return None
+        return BloomFilter.read(reader)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "CapsuleBox":
+        bloom_start, meta_start, meta_end = cls._sections(data)
+        bloom_reader = BinaryReader(data[bloom_start:meta_start])
+        bloom = BloomFilter.read(bloom_reader) if bloom_reader.read_u8() else None
+        reader = BinaryReader(zlib.decompress(data[meta_start:meta_end]))
+        blob_base = meta_end
+
+        block_id = reader.read_varint()
+        first_line_id = reader.read_varint()
+        num_lines = reader.read_varint()
+        padded = reader.read_u8() == 1
+        groups: List[GroupBox] = []
+        for _ in range(reader.read_varint()):
+            template = _read_template(reader)
+            line_ids = _read_line_ids(reader)
+            vectors = [
+                _read_vector(reader, data, blob_base)
+                for _ in range(reader.read_varint())
+            ]
+            groups.append(GroupBox(template, line_ids, vectors))
+        return cls(block_id, first_line_id, num_lines, padded, groups, bloom)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def capsule_count(self) -> int:
+        count = 0
+        for group in self.groups:
+            for vector in group.vectors:
+                count += len(_capsules_of(vector))
+        return count
+
+    def payload_bytes(self) -> int:
+        return sum(
+            capsule.compressed_bytes
+            for group in self.groups
+            for vector in group.vectors
+            for capsule in _capsules_of(vector)
+        )
+
+    def verify(self) -> List[str]:
+        """Deep integrity check; returns a list of problems (empty = ok).
+
+        Checks every Capsule's payload checksum, decompresses it, and
+        validates the structural invariants (counts, widths).
+        """
+        problems: List[str] = []
+        for group_idx, group in enumerate(self.groups):
+            if len(group.line_ids) != group.num_entries:
+                problems.append(f"group {group_idx}: line id count mismatch")
+            for vector_idx, vector in enumerate(group.vectors):
+                where = f"group {group_idx} vector {vector_idx}"
+                for capsule in _capsules_of(vector):
+                    if not capsule.verify_payload():
+                        problems.append(f"{where}: payload checksum mismatch")
+                        continue
+                    try:
+                        plain = capsule.plain()
+                    except Exception as exc:  # corruption despite CRC
+                        problems.append(f"{where}: undecodable payload ({exc})")
+                        continue
+                    if (
+                        capsule.layout == 0
+                        and capsule.width
+                        and len(plain) != capsule.width * capsule.count
+                    ):
+                        problems.append(f"{where}: payload size mismatch")
+        return problems
+
+
+def _capsules_of(vector: EncodedVector) -> List[Capsule]:
+    if isinstance(vector, RealEncodedVector):
+        capsules = list(vector.subvar_capsules)
+        if vector.outlier_capsule is not None:
+            capsules.append(vector.outlier_capsule)
+        return capsules
+    if isinstance(vector, NominalEncodedVector):
+        return [vector.dict_capsule, vector.index_capsule]
+    return [vector.capsule]
+
+
+# ----------------------------------------------------------------------
+# templates
+# ----------------------------------------------------------------------
+def _write_template(writer: BinaryWriter, template: Template) -> None:
+    writer.write_varint(template.template_id)
+    writer.write_varint(len(template.tokens))
+    for token in template.tokens:
+        if token is None:
+            writer.write_u8(1)
+        else:
+            writer.write_u8(0)
+            writer.write_str(token)
+
+
+def _read_template(reader: BinaryReader) -> Template:
+    template_id = reader.read_varint()
+    tokens: List[Optional[str]] = []
+    for _ in range(reader.read_varint()):
+        if reader.read_u8() == 1:
+            tokens.append(None)
+        else:
+            tokens.append(reader.read_str())
+    return Template(template_id, tokens)
+
+
+def _write_line_ids(writer: BinaryWriter, line_ids: List[int]) -> None:
+    # Strictly increasing within a group, so deltas are tiny and the u32
+    # array's zero-heavy bytes vanish under the metadata zlib pass; parsing
+    # back is C-speed, which keeps box loading off the query's critical
+    # path (it dominated latency when these were per-entry varints).
+    prev = 0
+    deltas = []
+    for line_id in line_ids:
+        deltas.append(line_id - prev)
+        prev = line_id
+    writer.write_u32_array(deltas)
+
+
+def _read_line_ids(reader: BinaryReader) -> List[int]:
+    return list(accumulate(reader.read_u32_array()))
+
+
+# ----------------------------------------------------------------------
+# capsules with out-of-band payloads
+# ----------------------------------------------------------------------
+def _write_capsule(
+    writer: BinaryWriter, capsule: Capsule, blobs: List[bytes], offset: List[int]
+) -> None:
+    writer.write_u8(capsule.layout)
+    writer.write_varint(capsule.width)
+    writer.write_varint(capsule.count)
+    capsule.stamp.write(writer)
+    writer.write_u8(capsule.codec)
+    writer.write_u8(capsule.preset)
+    writer.write_varint(offset[0])
+    writer.write_varint(len(capsule.payload))
+    # Payloads sit outside the zlib'd (self-checking) metadata stream, so
+    # they carry their own checksum for `loggrep verify` / `CapsuleBox.
+    # verify()`.  RAW-codec payloads would otherwise corrupt silently.
+    writer.write_u32(zlib.crc32(capsule.payload))
+    blobs.append(capsule.payload)
+    offset[0] += len(capsule.payload)
+
+
+def _read_capsule(reader: BinaryReader, data: bytes, blob_base: int) -> Capsule:
+    layout = reader.read_u8()
+    width = reader.read_varint()
+    count = reader.read_varint()
+    stamp = CapsuleStamp.read(reader)
+    codec = reader.read_u8()
+    preset = reader.read_u8()
+    off = reader.read_varint()
+    length = reader.read_varint()
+    crc = reader.read_u32()
+    start = blob_base + off
+    if start + length > len(data):
+        raise FormatError("capsule payload out of range")
+    capsule = Capsule(
+        layout, width, count, stamp, codec, preset, data[start : start + length]
+    )
+    capsule.expected_crc = crc
+    return capsule
+
+
+# ----------------------------------------------------------------------
+# encoded vectors
+# ----------------------------------------------------------------------
+def _write_vector(
+    writer: BinaryWriter,
+    vector: EncodedVector,
+    blobs: List[bytes],
+    offset: List[int],
+) -> None:
+    writer.write_u8(vector.tag)
+    if isinstance(vector, RealEncodedVector):
+        vector.pattern.write(writer)
+        writer.write_varint(len(vector.subvar_capsules))
+        for capsule in vector.subvar_capsules:
+            _write_capsule(writer, capsule, blobs, offset)
+        if vector.outlier_capsule is not None:
+            writer.write_u8(1)
+            _write_line_ids(writer, vector.outlier_rows)
+            _write_capsule(writer, vector.outlier_capsule, blobs, offset)
+        else:
+            writer.write_u8(0)
+        writer.write_varint(vector.num_rows)
+    elif isinstance(vector, NominalEncodedVector):
+        writer.write_varint(len(vector.dict_patterns))
+        for dp in vector.dict_patterns:
+            dp.pattern.write(writer)
+            writer.write_varint(dp.count)
+            writer.write_varint(dp.width)
+            writer.write_u32_list(dp.subvar_masks)
+            writer.write_u32_list(dp.subvar_maxlens)
+        _write_capsule(writer, vector.dict_capsule, blobs, offset)
+        _write_capsule(writer, vector.index_capsule, blobs, offset)
+        writer.write_varint(vector.index_width)
+        writer.write_varint(vector.num_rows)
+        writer.write_varint(vector.dict_size)
+    elif isinstance(vector, PlainEncodedVector):
+        _write_capsule(writer, vector.capsule, blobs, offset)
+        writer.write_varint(vector.num_rows)
+    else:  # pragma: no cover - exhaustive over EncodedVector
+        raise FormatError(f"unknown vector type {type(vector)!r}")
+
+
+def _read_vector(reader: BinaryReader, data: bytes, blob_base: int) -> EncodedVector:
+    tag = reader.read_u8()
+    if tag == ENC_REAL:
+        pattern = RuntimePattern.read(reader)
+        subvar_capsules = [
+            _read_capsule(reader, data, blob_base)
+            for _ in range(reader.read_varint())
+        ]
+        outlier_capsule = None
+        outlier_rows: List[int] = []
+        if reader.read_u8() == 1:
+            outlier_rows = _read_line_ids(reader)
+            outlier_capsule = _read_capsule(reader, data, blob_base)
+        num_rows = reader.read_varint()
+        return RealEncodedVector(
+            pattern, subvar_capsules, outlier_capsule, outlier_rows, num_rows
+        )
+    if tag == ENC_NOMINAL:
+        dict_patterns: List[DictPattern] = []
+        for _ in range(reader.read_varint()):
+            pattern = RuntimePattern.read(reader)
+            count = reader.read_varint()
+            width = reader.read_varint()
+            masks = reader.read_u32_list()
+            maxlens = reader.read_u32_list()
+            dict_patterns.append(DictPattern(pattern, count, width, masks, maxlens))
+        dict_capsule = _read_capsule(reader, data, blob_base)
+        index_capsule = _read_capsule(reader, data, blob_base)
+        index_width = reader.read_varint()
+        num_rows = reader.read_varint()
+        dict_size = reader.read_varint()
+        return NominalEncodedVector(
+            dict_patterns, dict_capsule, index_capsule, index_width, num_rows, dict_size
+        )
+    if tag == ENC_PLAIN:
+        capsule = _read_capsule(reader, data, blob_base)
+        num_rows = reader.read_varint()
+        return PlainEncodedVector(capsule, num_rows)
+    raise FormatError(f"unknown encoded-vector tag {tag}")

@@ -1,0 +1,272 @@
+"""Capsules: the fine-grained compressed storage unit (paper §4.2, §5.2).
+
+A Capsule stores one column of values — a sub-variable vector, an outlier
+vector, a dictionary vector or an index vector — compressed independently
+with LZMA (the paper's Packer uses LZMA for its high ratio).
+
+Two payload layouts exist:
+
+* **fixed** — every value padded with NUL to the Capsule's width.  This is
+  the paper's design: the row of a hit is ``position // width`` (O(1)), hit
+  rows can be checked directly in a second Capsule, and a pattern region of
+  a dictionary can be reached by the Σ count·width jump.
+* **variable** — values separated by NUL.  This exists only for the
+  ``w/o fixed`` ablation (§6.3) and for LogGrep-SP; recovering a hit's row
+  means counting separators, which is what the paper's padding avoids.
+
+Values must not contain NUL; log lines are text, so the packer enforces it.
+"""
+
+from __future__ import annotations
+
+import lzma
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..common.binio import BinaryReader, BinaryWriter
+from ..common.errors import CompressionError, FormatError
+from .stamp import CapsuleStamp
+
+PAD = b"\x00"
+PAD_CHAR = 0
+
+#: Payload layouts.
+LAYOUT_FIXED = 0
+LAYOUT_VARIABLE = 1
+LAYOUT_REGION = 2  # per-pattern regions of differing widths (dictionaries)
+
+#: Codecs.  RAW is chosen automatically when compression does not pay off
+#: (tiny Capsules), which both shrinks archives and speeds up queries.
+CODEC_RAW = 0
+CODEC_LZMA = 1
+CODEC_ZLIB = 2
+
+_LZMA_FILTERS_BY_PRESET = {
+    preset: [{"id": lzma.FILTER_LZMA2, "preset": preset}] for preset in range(10)
+}
+
+
+def _lzma_compress(data: bytes, preset: int) -> bytes:
+    # Raw streams avoid the ~60-byte .xz container per Capsule, which
+    # matters because a CapsuleBox holds many small Capsules.
+    return lzma.compress(
+        data, format=lzma.FORMAT_RAW, filters=_LZMA_FILTERS_BY_PRESET[preset]
+    )
+
+
+def _lzma_decompress(data: bytes, preset: int) -> bytes:
+    return lzma.decompress(
+        data, format=lzma.FORMAT_RAW, filters=_LZMA_FILTERS_BY_PRESET[preset]
+    )
+
+
+@dataclass
+class Capsule:
+    """A compressed column of values plus its stamp."""
+
+    layout: int
+    width: int  # padded value width (fixed layout); 0 for variable layout
+    count: int  # number of values
+    stamp: CapsuleStamp
+    codec: int
+    preset: int
+    payload: bytes
+    #: CRC32 recorded at serialization time (None for in-memory capsules);
+    #: checked by :meth:`verify_payload`, not on the hot read path.
+    expected_crc: Optional[int] = field(default=None, repr=False, compare=False)
+    _plain: Optional[bytes] = field(default=None, repr=False, compare=False)
+    _offsets: Optional[List[int]] = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # packing
+    # ------------------------------------------------------------------
+    @classmethod
+    def pack_fixed(
+        cls,
+        values: Sequence[str],
+        preset: int = 1,
+        stamp: Optional[CapsuleStamp] = None,
+        width: Optional[int] = None,
+    ) -> "Capsule":
+        """Pack *values* NUL-padded to a common width (§5.2)."""
+        encoded = [_encode(v) for v in values]
+        if width is None:
+            width = max((len(e) for e in encoded), default=0)
+        buf = b"".join(e.ljust(width, PAD) for e in encoded)
+        stamp = stamp or CapsuleStamp.of_values(values)
+        codec, payload = _choose_codec(buf, preset)
+        return cls(LAYOUT_FIXED, width, len(values), stamp, codec, preset, payload)
+
+    @classmethod
+    def pack_variable(
+        cls,
+        values: Sequence[str],
+        preset: int = 1,
+        stamp: Optional[CapsuleStamp] = None,
+    ) -> "Capsule":
+        """Pack *values* NUL-separated (the w/o-fixed ablation layout)."""
+        encoded = [_encode(v) for v in values]
+        buf = PAD.join(encoded)
+        stamp = stamp or CapsuleStamp.of_values(values)
+        codec, payload = _choose_codec(buf, preset)
+        return cls(LAYOUT_VARIABLE, 0, len(values), stamp, codec, preset, payload)
+
+    @classmethod
+    def pack_regions(
+        cls,
+        regions: Sequence[Sequence[str]],
+        widths: Sequence[int],
+        preset: int = 1,
+    ) -> "Capsule":
+        """Pack a dictionary vector: concatenated per-pattern padded regions.
+
+        Each region's values are padded to that region's own width, so the
+        start byte of region *j* is ``Σ_{i<j} count_i · width_i`` — exactly
+        the direct-locating formula of §5.2.
+        """
+        parts: List[bytes] = []
+        all_values: List[str] = []
+        for region, width in zip(regions, widths):
+            for value in region:
+                encoded = _encode(value)
+                if len(encoded) > width:
+                    raise CompressionError(
+                        f"value {value!r} longer than its region width {width}"
+                    )
+                parts.append(encoded.ljust(width, PAD))
+                all_values.append(value)
+        buf = b"".join(parts)
+        stamp = CapsuleStamp.of_values(all_values)
+        codec, payload = _choose_codec(buf, preset)
+        return cls(LAYOUT_REGION, 0, len(all_values), stamp, codec, preset, payload)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def plain(self) -> bytes:
+        """The decompressed payload (cached after the first call).
+
+        Corrupt payloads raise :class:`FormatError` — codec-specific
+        exceptions never escape the storage layer.
+        """
+        if self._plain is None:
+            try:
+                if self.codec == CODEC_RAW:
+                    self._plain = self.payload
+                elif self.codec == CODEC_LZMA:
+                    self._plain = _lzma_decompress(self.payload, self.preset)
+                elif self.codec == CODEC_ZLIB:
+                    self._plain = zlib.decompress(self.payload)
+                else:
+                    raise FormatError(f"unknown codec {self.codec}")
+            except (lzma.LZMAError, zlib.error) as exc:
+                raise FormatError(f"corrupt capsule payload: {exc}") from exc
+        return self._plain
+
+    def value_at(self, row: int) -> str:
+        """Fetch one value; O(1) for the fixed layout."""
+        if not 0 <= row < self.count:
+            raise IndexError(f"row {row} out of range 0..{self.count - 1}")
+        plain = self.plain()
+        if self.layout == LAYOUT_REGION:
+            raise FormatError(
+                "region-packed capsules need region offsets to fetch values"
+            )
+        if self.layout == LAYOUT_FIXED:
+            if self.width == 0:
+                return ""
+            start = row * self.width
+            return plain[start : start + self.width].rstrip(PAD).decode("utf-8")
+        offsets = self._variable_offsets()
+        start = offsets[row]
+        end = offsets[row + 1] - 1 if row + 1 < self.count else len(plain)
+        return plain[start:end].decode("utf-8")
+
+    def values(self) -> List[str]:
+        """All values, decoded."""
+        plain = self.plain()
+        if self.layout == LAYOUT_REGION:
+            raise FormatError(
+                "region-packed capsules need region metadata to list values"
+            )
+        if self.layout == LAYOUT_FIXED:
+            if self.width == 0:
+                return [""] * self.count
+            return [
+                plain[i * self.width : (i + 1) * self.width].rstrip(PAD).decode("utf-8")
+                for i in range(self.count)
+            ]
+        if not self.count:
+            return []
+        return [part.decode("utf-8") for part in plain.split(PAD)]
+
+    def region_value(self, offset_bytes: int, width: int) -> str:
+        """Fetch one value of a region-packed dictionary Capsule."""
+        plain = self.plain()
+        return plain[offset_bytes : offset_bytes + width].rstrip(PAD).decode("utf-8")
+
+    def _variable_offsets(self) -> List[int]:
+        if self._offsets is None:
+            plain = self.plain()
+            offsets = [0]
+            pos = plain.find(PAD)
+            while pos != -1:
+                offsets.append(pos + 1)
+                pos = plain.find(PAD, pos + 1)
+            self._offsets = offsets
+        return self._offsets
+
+    @property
+    def compressed_bytes(self) -> int:
+        return len(self.payload)
+
+    def verify_payload(self) -> bool:
+        """Check the payload against its recorded CRC32.
+
+        True when no checksum was recorded (in-memory capsule) or the
+        checksum matches; False signals on-disk corruption.
+        """
+        if self.expected_crc is None:
+            return True
+        return zlib.crc32(self.payload) == self.expected_crc
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def write(self, writer: BinaryWriter) -> None:
+        writer.write_u8(self.layout)
+        writer.write_varint(self.width)
+        writer.write_varint(self.count)
+        self.stamp.write(writer)
+        writer.write_u8(self.codec)
+        writer.write_u8(self.preset)
+        writer.write_bytes(self.payload)
+
+    @classmethod
+    def read(cls, reader: BinaryReader) -> "Capsule":
+        layout = reader.read_u8()
+        width = reader.read_varint()
+        count = reader.read_varint()
+        stamp = CapsuleStamp.read(reader)
+        codec = reader.read_u8()
+        preset = reader.read_u8()
+        payload = reader.read_bytes()
+        return cls(layout, width, count, stamp, codec, preset, payload)
+
+
+def _encode(value: str) -> bytes:
+    encoded = value.encode("utf-8")
+    if PAD_CHAR in encoded:
+        raise CompressionError("log values must not contain NUL bytes")
+    return encoded
+
+
+def _choose_codec(buf: bytes, preset: int) -> tuple:
+    """LZMA unless the payload is tiny or incompressible."""
+    if len(buf) < 32:
+        return CODEC_RAW, buf
+    compressed = _lzma_compress(buf, preset)
+    if len(compressed) >= len(buf):
+        return CODEC_RAW, buf
+    return CODEC_LZMA, compressed

@@ -1,0 +1,197 @@
+"""Command-line interface: ``loggrep compress/grep/stats/report``.
+
+Examples::
+
+    loggrep compress app.log -a /tmp/archive
+    loggrep grep -a /tmp/archive "ERROR AND dst:11.8.* NOT state:503"
+    loggrep stats -a /tmp/archive
+    loggrep report            # regenerate EXPERIMENTS.md (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .blockstore.store import ArchiveStore
+from .core.config import LogGrepConfig
+from .core.loggrep import LogGrep
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="loggrep",
+        description="LogGrep (EuroSys '23 reproduction): compress logs and "
+        "run grep-like queries on the compressed archive.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compress = sub.add_parser("compress", help="compress a log file into an archive")
+    compress.add_argument("input", help="raw log file (one entry per line)")
+    compress.add_argument("-a", "--archive", required=True, help="archive directory")
+    compress.add_argument(
+        "--block-bytes", type=int, default=LogGrepConfig.block_bytes,
+        help="log block size in bytes (default: 64 MiB)",
+    )
+    compress.add_argument(
+        "--preset", type=int, default=1, choices=range(10),
+        help="LZMA preset for Capsule payloads",
+    )
+
+    grep = sub.add_parser("grep", help="query a compressed archive")
+    grep.add_argument("query", help='e.g. "ERROR AND dst:11.8.* NOT state:503"')
+    grep.add_argument("-a", "--archive", required=True, help="archive directory")
+    grep.add_argument("-c", "--count", action="store_true", help="print only the hit count")
+    grep.add_argument("-i", "--ignore-case", action="store_true", help="case-insensitive match")
+    grep.add_argument("--stats", action="store_true", help="print execution statistics")
+
+    stats = sub.add_parser("stats", help="show archive statistics")
+    stats.add_argument("-a", "--archive", required=True, help="archive directory")
+
+    analyze = sub.add_parser(
+        "analyze", help="structure-based aggregation without reconstruction"
+    )
+    analyze.add_argument("-a", "--archive", required=True, help="archive directory")
+    analyze.add_argument("--fields", action="store_true", help="list discovered fields")
+    analyze.add_argument("--count-by", metavar="FIELD", help="value histogram of a field")
+    analyze.add_argument("--stats-of", metavar="FIELD", help="numeric summary of a field")
+    analyze.add_argument("--top", type=int, default=20, help="rows to print (default 20)")
+    analyze.add_argument("-w", "--where", help="optional query filter")
+
+    explain = sub.add_parser("explain", help="show the query plan (stamp/pattern decisions)")
+    explain.add_argument("query", help="query command to plan")
+    explain.add_argument("-a", "--archive", required=True, help="archive directory")
+    explain.add_argument("-i", "--ignore-case", action="store_true")
+
+    verify = sub.add_parser("verify", help="deep integrity check of an archive")
+    verify.add_argument("-a", "--archive", required=True, help="archive directory")
+
+    sub.add_parser("report", help="run the full benchmark suite and write EXPERIMENTS.md")
+    return parser
+
+
+def _open(archive: str, **config_overrides) -> LogGrep:
+    store = ArchiveStore(archive)
+    lg = LogGrep(store=store, config=LogGrepConfig(**config_overrides))
+    # Resume block numbering after existing archives.
+    existing = store.names()
+    lg._next_block_id = len(existing)
+    return lg
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "compress":
+        lg = _open(args.archive, block_bytes=args.block_bytes, preset=args.preset)
+        with open(args.input, "r", encoding="utf-8", errors="replace") as fh:
+            lines = fh.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        report = lg.compress(lines)
+        print(
+            f"compressed {report.blocks} block(s): {report.raw_bytes} -> "
+            f"{report.compressed_bytes} bytes "
+            f"(ratio {report.ratio:.2f}x, {report.speed_mb_s:.2f} MB/s)"
+        )
+        return 0
+
+    if args.command == "grep":
+        lg = _open(args.archive)
+        if args.count and not args.stats:
+            # Counting skips reconstruction entirely (grep -c fast path).
+            print(lg.count(args.query, ignore_case=args.ignore_case))
+            return 0
+        result = lg.grep(args.query, ignore_case=args.ignore_case)
+        if args.count:
+            print(result.count)
+        else:
+            for line in result.lines:
+                print(line)
+        if args.stats:
+            print(
+                f"# {result.count} hit(s) in {result.elapsed * 1000:.1f} ms; "
+                f"capsules decompressed: {result.stats.capsules_decompressed}, "
+                f"filtered: {result.stats.capsules_filtered}",
+                file=sys.stderr,
+            )
+        return 0
+
+    if args.command == "stats":
+        store = ArchiveStore(args.archive)
+        from .capsule.box import CapsuleBox
+
+        total = 0
+        for name in store.names():
+            box = CapsuleBox.deserialize(store.get(name))
+            payload = box.payload_bytes()
+            total += box.num_lines
+            print(
+                f"{name}: {box.num_lines} lines, {len(box.groups)} groups, "
+                f"{box.capsule_count()} capsules, {payload} payload bytes"
+            )
+        print(f"total: {total} lines, {store.total_bytes()} stored bytes")
+        return 0
+
+    if args.command == "explain":
+        lg = _open(args.archive)
+        print(lg.explain(args.query, ignore_case=args.ignore_case))
+        return 0
+
+    if args.command == "verify":
+        from .capsule.box import CapsuleBox
+        from .common.errors import ReproError
+
+        store = ArchiveStore(args.archive)
+        bad = 0
+        for name in store.names():
+            try:
+                problems = CapsuleBox.deserialize(store.get(name)).verify()
+            except ReproError as exc:
+                problems = [str(exc)]
+            if problems:
+                bad += 1
+                for problem in problems:
+                    print(f"{name}: {problem}")
+            else:
+                print(f"{name}: ok")
+        print(f"{len(store.names()) - bad}/{len(store.names())} block(s) healthy")
+        return 1 if bad else 0
+
+    if args.command == "analyze":
+        from .analytics import Analyzer
+
+        analyzer = Analyzer(_open(args.archive))
+        did_something = False
+        if args.fields:
+            print("fields:", ", ".join(analyzer.fields()))
+            did_something = True
+        if args.count_by:
+            for value, count in analyzer.count_by(
+                args.count_by, where=args.where
+            ).most_common(args.top):
+                print(f"{count:8d}  {value}")
+            did_something = True
+        if args.stats_of:
+            stats = analyzer.stats_of(args.stats_of, where=args.where)
+            print(
+                f"count={stats.count} min={stats.minimum} max={stats.maximum} "
+                f"mean={stats.mean:.2f} p50={stats.p50} p95={stats.p95} p99={stats.p99}"
+            )
+            did_something = True
+        if not did_something:
+            print("nothing to do: pass --fields, --count-by or --stats-of")
+            return 2
+        return 0
+
+    if args.command == "report":
+        from .bench.report import main as report_main
+
+        return report_main()
+
+    return 2  # pragma: no cover - argparse enforces the command set
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

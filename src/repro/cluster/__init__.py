@@ -1,0 +1,16 @@
+"""Distributed LogGrep (the paper's §8 future work): replicated block
+placement, parallel ingest and scatter/gather queries."""
+
+from .coordinator import ClusterError, ClusterLogGrep, ClusterStats
+from .node import NodeDownError, WorkerNode
+from .placement import primary_node, replica_nodes
+
+__all__ = [
+    "ClusterLogGrep",
+    "ClusterStats",
+    "ClusterError",
+    "WorkerNode",
+    "NodeDownError",
+    "replica_nodes",
+    "primary_node",
+]

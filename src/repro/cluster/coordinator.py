@@ -1,0 +1,236 @@
+"""The cluster coordinator: distributed compress and scatter/gather query.
+
+``ClusterLogGrep`` is the distributed analogue of
+:class:`~repro.core.loggrep.LogGrep` (the paper's §8 future work):
+
+* **ingest** — raw lines are split into blocks; each block's *primary*
+  node (rendezvous hashing) compresses it locally and the coordinator fans
+  the archive out to the remaining replicas.  Blocks compress in parallel
+  across nodes (LZMA releases the GIL, so a thread pool gives real
+  speedup).
+* **query** — the command is executed per block on one alive replica
+  (primary preferred), in parallel; the coordinator merges the per-block
+  entries by global line id, restoring exactly the single-node result.
+* **failures** — a dead node is skipped in favor of the next replica; a
+  query only fails if *every* replica of some block is down.  Recovered
+  nodes keep their data (disks survive crashes).
+"""
+
+from __future__ import annotations
+
+import logging
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..blockstore.block import split_lines
+from ..common.errors import ReproError
+from ..core.config import LogGrepConfig
+from ..core.loggrep import GrepResult
+from ..query.language import parse_query
+from ..query.stats import QueryStats
+from .node import NodeDownError, WorkerNode
+from .placement import replica_nodes
+
+logger = logging.getLogger(__name__)
+
+
+class ClusterError(ReproError):
+    """The cluster cannot satisfy a request (e.g. all replicas down)."""
+
+
+@dataclass
+class ClusterStats:
+    """A snapshot of cluster health and balance."""
+
+    nodes: int
+    alive_nodes: int
+    blocks: int
+    replication: int
+    blocks_per_node: Dict[str, int] = field(default_factory=dict)
+    bytes_per_node: Dict[str, int] = field(default_factory=dict)
+
+
+class ClusterLogGrep:
+    """A small LogGrep cluster with replicated block placement."""
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        replication: int = 2,
+        config: Optional[LogGrepConfig] = None,
+        parallelism: Optional[int] = None,
+    ):
+        if num_nodes <= 0:
+            raise ValueError("a cluster needs at least one node")
+        if replication > num_nodes:
+            raise ValueError("replication factor cannot exceed the node count")
+        self.config = config or LogGrepConfig()
+        self.replication = replication
+        self.nodes: Dict[str, WorkerNode] = {
+            f"node-{i}": WorkerNode(f"node-{i}", self.config)
+            for i in range(num_nodes)
+        }
+        self._placement: Dict[str, List[str]] = {}  # block name → replica ids
+        self._next_block_id = 0
+        self._next_line_id = 0
+        self.raw_bytes = 0
+        self._pool = ThreadPoolExecutor(
+            max_workers=parallelism or max(2, num_nodes)
+        )
+
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> WorkerNode:
+        return self.nodes[node_id]
+
+    def _alive_ids(self) -> List[str]:
+        return [nid for nid, node in self.nodes.items() if node.alive]
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def compress(self, lines: Sequence[str]) -> None:
+        """Distribute and compress *lines* across the cluster."""
+        blocks = []
+        for block in split_lines(lines, self.config.block_bytes):
+            block.block_id = self._next_block_id
+            block.first_line_id = self._next_line_id
+            self._next_block_id += 1
+            self._next_line_id += block.num_lines
+            self.raw_bytes += block.raw_bytes
+            blocks.append(block)
+
+        def ingest_one(block) -> None:
+            name = f"block-{block.block_id:08d}.lgcb"
+            replicas = replica_nodes(name, self._alive_ids(), self.replication)
+            if not replicas:
+                raise ClusterError("no alive node to ingest into")
+            primary = self.nodes[replicas[0]]
+            name, data = primary.compress_and_store(block)
+            for replica_id in replicas[1:]:
+                self.nodes[replica_id].store_replica(name, data)
+            self._placement[name] = replicas
+
+        list(self._pool.map(ingest_one, blocks))
+
+    # ------------------------------------------------------------------
+    # query
+    # ------------------------------------------------------------------
+    def grep(self, command: str, ignore_case: bool = False) -> GrepResult:
+        """Scatter the query to one alive replica per block, gather, merge."""
+        import time
+
+        start = time.perf_counter()
+        parsed = parse_query(command, ignore_case)
+        stats = QueryStats()
+
+        def query_one(name: str) -> List[Tuple[int, str]]:
+            entries, _, block_stats = self._on_replica(
+                name, lambda node: node.query_block(name, parsed, reconstruct=True)
+            )
+            stats.merge(block_stats)
+            return entries
+
+        all_entries: List[Tuple[int, str]] = []
+        for entries in self._pool.map(query_one, sorted(self._placement)):
+            all_entries.extend(entries)
+        all_entries.sort(key=lambda item: item[0])
+        stats.entries_matched = len(all_entries)
+        elapsed = time.perf_counter() - start
+        return GrepResult(
+            [text for _, text in all_entries],
+            [line_id for line_id, _ in all_entries],
+            stats,
+            elapsed,
+        )
+
+    def count(self, command: str, ignore_case: bool = False) -> int:
+        parsed = parse_query(command, ignore_case)
+
+        def count_one(name: str) -> int:
+            _, hit_count, _ = self._on_replica(
+                name, lambda node: node.query_block(name, parsed, reconstruct=False)
+            )
+            return hit_count
+
+        return sum(self._pool.map(count_one, sorted(self._placement)))
+
+    def _on_replica(self, name: str, action):
+        """Run *action* on the first alive replica of a block."""
+        last_error: Optional[Exception] = None
+        for replica_id in self._placement[name]:
+            node = self.nodes[replica_id]
+            if not node.alive:
+                continue
+            try:
+                return action(node)
+            except NodeDownError as exc:  # raced with a failure
+                last_error = exc
+        logger.warning("all replicas of %s are down: %s", name, self._placement[name])
+        raise ClusterError(
+            f"all replicas of {name} are down ({self._placement[name]})"
+        ) from last_error
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def repair(self) -> int:
+        """Re-replicate under-replicated blocks onto alive nodes.
+
+        Returns the number of replica copies created.  Run after a node is
+        declared permanently lost.
+        """
+        created = 0
+        alive = self._alive_ids()
+        for name, replicas in self._placement.items():
+            holders = [
+                nid
+                for nid in replicas
+                if self.nodes[nid].alive and self.nodes[nid].has_block(name)
+            ]
+            if not holders:
+                continue  # data unreachable until a holder recovers
+            missing = self.replication - len(holders)
+            if missing <= 0:
+                continue
+            data = self.nodes[holders[0]].store.get(name)
+            for candidate in replica_nodes(name, alive, len(alive)):
+                if missing == 0:
+                    break
+                if candidate in holders:
+                    continue
+                self.nodes[candidate].store_replica(name, data)
+                holders.append(candidate)
+                created += 1
+                missing -= 1
+            self._placement[name] = holders
+        if created:
+            logger.info("repair created %d replica copies", created)
+        return created
+
+    def stats(self) -> ClusterStats:
+        return ClusterStats(
+            nodes=len(self.nodes),
+            alive_nodes=len(self._alive_ids()),
+            blocks=len(self._placement),
+            replication=self.replication,
+            blocks_per_node={
+                nid: len(node.block_names()) for nid, node in self.nodes.items()
+            },
+            bytes_per_node={
+                nid: node.storage_bytes() for nid, node in self.nodes.items()
+            },
+        )
+
+    def storage_bytes(self) -> int:
+        """Total bytes across all replicas (what a cluster actually pays)."""
+        return sum(node.storage_bytes() for node in self.nodes.values())
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ClusterLogGrep":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

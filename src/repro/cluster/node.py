@@ -1,0 +1,105 @@
+"""Worker nodes: per-node block storage and query execution.
+
+A worker owns the CapsuleBoxes placed on it and can execute both halves of
+the distributed protocol locally: compress a raw block into a CapsuleBox,
+and run a parsed query command over one of its blocks (locate + optional
+reconstruction).  Failure is simulated with a flag; a dead node raises
+:class:`NodeDownError` on any RPC-like call, which the coordinator treats
+as a signal to fail over to another replica.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..blockstore.block import LogBlock
+from ..blockstore.store import MemoryStore
+from ..capsule.box import CapsuleBox
+from ..common.errors import ReproError
+from ..core.compressor import compress_block
+from ..core.config import LogGrepConfig
+from ..core.reconstructor import BlockReconstructor
+from ..query.engine import BlockEngine
+from ..query.language import QueryCommand
+from ..query.stats import QueryStats
+
+
+class NodeDownError(ReproError):
+    """The addressed worker is not reachable."""
+
+
+class WorkerNode:
+    """One storage/query worker of a LogGrep cluster."""
+
+    def __init__(self, node_id: str, config: Optional[LogGrepConfig] = None):
+        self.node_id = node_id
+        self.config = config or LogGrepConfig()
+        self.store = MemoryStore()
+        self.alive = True
+        self.queries_served = 0
+        self.blocks_compressed = 0
+
+    # ------------------------------------------------------------------
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise NodeDownError(f"node {self.node_id} is down")
+
+    def fail(self) -> None:
+        """Simulate a crash; stored data survives (disk persists)."""
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    # ingest path
+    # ------------------------------------------------------------------
+    def compress_and_store(self, block: LogBlock) -> Tuple[str, bytes]:
+        """Compress a raw block locally; returns (name, archive bytes) so
+        the coordinator can fan the replica copies out."""
+        self._check_alive()
+        name = f"block-{block.block_id:08d}.lgcb"
+        data = compress_block(block, self.config).serialize()
+        self.store.put(name, data)
+        self.blocks_compressed += 1
+        return name, data
+
+    def store_replica(self, name: str, data: bytes) -> None:
+        self._check_alive()
+        self.store.put(name, data)
+
+    def has_block(self, name: str) -> bool:
+        return self.store.exists(name)
+
+    def block_names(self) -> List[str]:
+        return self.store.names()
+
+    def storage_bytes(self) -> int:
+        return self.store.total_bytes()
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+    def query_block(
+        self, name: str, command: QueryCommand, reconstruct: bool = True
+    ) -> Tuple[List[Tuple[int, str]], int, QueryStats]:
+        """Run *command* over one local block.
+
+        Returns (entries, hit count, stats); *entries* is empty when
+        ``reconstruct`` is False (count-only queries).
+        """
+        self._check_alive()
+        self.queries_served += 1
+        stats = QueryStats()
+        stats.blocks_visited = 1
+        box = CapsuleBox.deserialize(self.store.get(name))
+        engine = BlockEngine(box, self.config.query_settings(), stats)
+        hits = engine.execute(command)
+        count = sum(len(rows) for rows in hits.values())
+        entries: List[Tuple[int, str]] = []
+        if reconstruct and hits:
+            reconstructor = BlockReconstructor(
+                box, self.config.query_settings(), stats, readers=engine._readers
+            )
+            entries = reconstructor.reconstruct(hits)
+        return entries, count, stats

@@ -1,0 +1,40 @@
+"""Block placement: rendezvous hashing with replication.
+
+The paper's future work (§8) is scaling LogGrep to a distributed cluster.
+Blocks are the natural distribution unit — each CapsuleBox is compressed
+and queried independently — so placement only has to spread blocks evenly
+and keep replicas on distinct nodes.
+
+Rendezvous (highest-random-weight) hashing gives both properties without
+any central table: every (block, node) pair gets a deterministic score and
+a block lives on its R highest-scoring alive nodes.  Adding or removing a
+node only moves the blocks that scored it highest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+
+def _score(block_name: str, node_id: str) -> int:
+    digest = hashlib.blake2b(
+        f"{block_name}@{node_id}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+def replica_nodes(
+    block_name: str, node_ids: Sequence[str], replication: int
+) -> List[str]:
+    """The *replication* nodes that should hold *block_name*, in
+    preference order (highest rendezvous score first)."""
+    if replication <= 0:
+        raise ValueError("replication factor must be positive")
+    ranked = sorted(node_ids, key=lambda node: _score(block_name, node), reverse=True)
+    return ranked[: min(replication, len(ranked))]
+
+
+def primary_node(block_name: str, node_ids: Sequence[str]) -> str:
+    """The preferred (first-replica) node for a block."""
+    return replica_nodes(block_name, node_ids, 1)[0]

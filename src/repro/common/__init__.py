@@ -1,0 +1,17 @@
+"""Shared substrates: character classes, row sets, text algorithms,
+tokenization, binary I/O and deterministic sampling."""
+
+from .chartypes import type_mask, type_mask_of_values, mask_subsumes
+from .errors import CompressionError, FormatError, QuerySyntaxError, ReproError
+from .rowset import RowSet
+
+__all__ = [
+    "type_mask",
+    "type_mask_of_values",
+    "mask_subsumes",
+    "RowSet",
+    "ReproError",
+    "FormatError",
+    "QuerySyntaxError",
+    "CompressionError",
+]

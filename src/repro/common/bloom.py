@@ -1,0 +1,101 @@
+"""Trigram Bloom filters for block-level pruning (extension).
+
+The paper filters *within* a block using runtime patterns and Capsule
+stamps; an archive with many blocks can additionally skip whole
+CapsuleBoxes.  A Bloom filter over the distinct character trigrams of a
+block's raw text supports exactly the query model we need: if any trigram
+of a (case-sensitive, literal) keyword is absent from the filter, no
+substring of any line in the block can equal the keyword, so the block
+cannot match — a sound, never-lossy prune.
+
+Sizing: ``bits_per_trigram`` of 10 with 4 hash probes gives ≈1% false
+positives; the filter is a few KB per block and compresses well inside
+the CapsuleBox metadata.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Set
+
+from .binio import BinaryReader, BinaryWriter
+
+DEFAULT_BITS_PER_KEY = 10
+NUM_PROBES = 4
+MIN_BITS = 64
+
+
+def trigrams(text: str) -> Set[str]:
+    """The distinct character trigrams of *text*."""
+    return {text[i : i + 3] for i in range(len(text) - 2)}
+
+
+def _probes(key: str, num_bits: int):
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=16).digest()
+    h1 = int.from_bytes(digest[:8], "little")
+    h2 = int.from_bytes(digest[8:], "little") | 1
+    for i in range(NUM_PROBES):
+        yield (h1 + i * h2) % num_bits
+
+
+class BloomFilter:
+    """A plain bit-array Bloom filter keyed by strings."""
+
+    __slots__ = ("num_bits", "bits")
+
+    def __init__(self, num_bits: int, bits: int = 0):
+        self.num_bits = max(MIN_BITS, num_bits)
+        self.bits = bits
+
+    @classmethod
+    def build(
+        cls, keys: Iterable[str], bits_per_key: int = DEFAULT_BITS_PER_KEY
+    ) -> "BloomFilter":
+        keys = list(keys)
+        bloom = cls(len(keys) * bits_per_key)
+        for key in keys:
+            bloom.add(key)
+        return bloom
+
+    def add(self, key: str) -> None:
+        for probe in _probes(key, self.num_bits):
+            self.bits |= 1 << probe
+
+    def might_contain(self, key: str) -> bool:
+        for probe in _probes(key, self.num_bits):
+            if not self.bits >> probe & 1:
+                return False
+        return True
+
+    def might_contain_text(self, fragment: str) -> bool:
+        """Could *fragment* occur as a substring of the indexed text?
+
+        Sound for fragments of length ≥ 3: every trigram of an actual
+        occurrence must be in the filter.  Shorter fragments cannot be
+        checked and conservatively pass.
+        """
+        if len(fragment) < 3:
+            return True
+        return all(self.might_contain(gram) for gram in trigrams(fragment))
+
+    # ------------------------------------------------------------------
+    def write(self, writer: BinaryWriter) -> None:
+        writer.write_varint(self.num_bits)
+        writer.write_bytes(self.bits.to_bytes((self.num_bits + 7) // 8, "little"))
+
+    @classmethod
+    def read(cls, reader: BinaryReader) -> "BloomFilter":
+        num_bits = reader.read_varint()
+        bits = int.from_bytes(reader.read_bytes(), "little")
+        return cls(num_bits, bits)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BloomFilter)
+            and self.num_bits == other.num_bits
+            and self.bits == other.bits
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return (self.num_bits + 7) // 8

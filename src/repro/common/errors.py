@@ -1,0 +1,19 @@
+"""Exception hierarchy shared by the whole package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class FormatError(ReproError):
+    """A serialized archive / CapsuleBox is malformed or truncated."""
+
+
+class QuerySyntaxError(ReproError):
+    """A query command could not be parsed."""
+
+
+class CompressionError(ReproError):
+    """The compression pipeline hit an unrecoverable condition."""

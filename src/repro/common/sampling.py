@@ -1,0 +1,40 @@
+"""Deterministic sampling helpers.
+
+Both the static parser (which mines templates on a 5% sample of a block's
+entries) and the runtime-pattern extractor (which probes delimiters on a 5%
+sample of a vector's values) sample their inputs.  Sampling is seeded so
+that compressing the same block twice produces byte-identical archives — a
+property the round-trip tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: The paper samples 5% of log entries / variable values (§3, §4.1).
+DEFAULT_SAMPLE_RATE = 0.05
+
+#: Never sample fewer than this many items: tiny vectors would otherwise
+#: give the extractor nothing to probe.
+MIN_SAMPLE = 32
+
+
+def sample(values: Sequence[T], rate: float, seed: int) -> List[T]:
+    """Return a deterministic sample of roughly ``rate * len(values)`` items.
+
+    The sample preserves input order (the extractor relies on picking
+    "random" values from it via its own seeded RNG, not on the sample being
+    shuffled).
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ValueError(f"sample rate must be in (0, 1], got {rate}")
+    n = len(values)
+    want = max(MIN_SAMPLE, int(n * rate))
+    if want >= n:
+        return list(values)
+    rng = random.Random(seed)
+    picks = sorted(rng.sample(range(n), want))
+    return [values[i] for i in picks]

@@ -1,0 +1,40 @@
+"""The shared token model.
+
+Both the static parser (compression side) and the query planner must agree
+on what a "token" is: the paper tokenizes log entries and search strings
+with the same delimiters so that a keyword can be matched against whole
+tokens.  We use the single space as the delimiter, which is lossless:
+``" ".join(line.split(" ")) == line`` holds for every line (including runs
+of spaces, which produce empty tokens).
+
+A wildcard may appear *within* a token but never spans delimiters — the
+paper states this restriction explicitly (§3, Query).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+DELIMITER = " "
+
+#: Characters that terminate a token.  Only space in this model; kept as a
+#: named constant so the query layer and parser cannot drift apart.
+TOKEN_DELIMITERS = frozenset(DELIMITER)
+
+
+def tokenize(line: str) -> List[str]:
+    """Split a log line (or search string) into tokens.
+
+    The split is exact and reversible via :func:`join_tokens`.
+    """
+    return line.split(DELIMITER)
+
+
+def join_tokens(tokens: List[str]) -> str:
+    """Inverse of :func:`tokenize`."""
+    return DELIMITER.join(tokens)
+
+
+def is_single_token(text: str) -> bool:
+    """True when *text* contains no token delimiter."""
+    return DELIMITER not in text

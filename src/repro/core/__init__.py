@@ -1,0 +1,29 @@
+"""The paper's primary contribution: the LogGrep system (§3-§5)."""
+
+from .compressor import compress_block
+from .config import ABLATIONS, LogGrepConfig, ablated, sp_config
+from .loggrep import CompressionReport, GrepResult, LogGrep, LogGrepSession
+from .catalog import CatalogEntry, LogCatalog, UnknownLogError
+from .lifecycle import archive_offline, offline_config, transition_analysis
+from .reconstructor import BlockReconstructor
+from .streaming import StreamingCompressor
+
+__all__ = [
+    "LogGrep",
+    "LogGrepSession",
+    "LogGrepConfig",
+    "GrepResult",
+    "CompressionReport",
+    "compress_block",
+    "BlockReconstructor",
+    "StreamingCompressor",
+    "LogCatalog",
+    "CatalogEntry",
+    "UnknownLogError",
+    "archive_offline",
+    "offline_config",
+    "transition_analysis",
+    "ablated",
+    "sp_config",
+    "ABLATIONS",
+]

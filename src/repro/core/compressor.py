@@ -1,0 +1,62 @@
+"""The compression pipeline (paper §3, Fig 2).
+
+Parser → Extractor → Assembler → Packer: a raw log block is parsed into
+groups of variable vectors using static patterns mined on a 5% sample;
+each vector is classified and encapsulated (runtime-pattern extraction
+happens inside the Assembler per vector kind); the resulting Capsules and
+all metadata are packed into a CapsuleBox.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..blockstore.block import LogBlock
+from ..capsule.assembler import encode_vector
+from ..capsule.box import CapsuleBox, GroupBox
+from ..common.bloom import BloomFilter, trigrams
+from ..staticparse.parser import BlockParser
+from .config import LogGrepConfig
+
+
+def compress_block(block: LogBlock, config: Optional[LogGrepConfig] = None) -> CapsuleBox:
+    """Compress one log block into a CapsuleBox."""
+    config = config or LogGrepConfig()
+    parser = BlockParser(
+        sample_rate=config.sample_rate,
+        similarity=config.similarity,
+        seed=config.seed ^ block.block_id,
+        miner=config.parser,
+    )
+    parsed = parser.parse(block.lines)
+
+    groups = []
+    for group_idx, group in enumerate(parsed.groups):
+        vectors = []
+        for var_idx, vector in enumerate(group.variable_vectors):
+            # A distinct deterministic seed per vector keeps delimiter
+            # probing independent across vectors but reproducible.
+            seed = _vector_seed(config.seed, block.block_id, group_idx, var_idx)
+            options = config.encoding_options(seed)
+            vectors.append(encode_vector(vector, options))
+        groups.append(GroupBox(group.template, group.line_ids, vectors))
+
+    bloom = None
+    if config.use_block_bloom:
+        grams = set()
+        for line in block.lines:
+            grams.update(trigrams(line))
+        bloom = BloomFilter.build(grams, config.bloom_bits_per_trigram)
+
+    return CapsuleBox(
+        block_id=block.block_id,
+        first_line_id=block.first_line_id,
+        num_lines=block.num_lines,
+        padded=config.use_padding,
+        groups=groups,
+        bloom=bloom,
+    )
+
+
+def _vector_seed(seed: int, block_id: int, group_idx: int, var_idx: int) -> int:
+    return (seed * 1_000_003 + block_id * 7919 + group_idx * 101 + var_idx) & 0x7FFFFFFF

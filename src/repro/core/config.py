@@ -1,0 +1,103 @@
+"""LogGrep configuration, including the §6.3 ablation switches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..capsule.assembler import EncodingOptions
+from ..query.vectors import QuerySettings
+
+#: Names of the five ablated versions evaluated in Fig 9.
+ABLATIONS = ("w/o real", "w/o nomi", "w/o stamp", "w/o fixed", "w/o cache")
+
+
+@dataclass
+class LogGrepConfig:
+    """Every knob of the compression and query pipelines.
+
+    The five ``use_*`` feature switches correspond one-to-one to the
+    ablated versions of §6.3; :func:`ablated` builds them by name.
+    """
+
+    # -- compression-side ------------------------------------------------
+    sample_rate: float = 0.05  # parser + extractor sampling (§3, §4.1)
+    similarity: float = 0.6  # template miner merge threshold
+    parser: str = "drain"  # template miner: "drain" or "slct"
+    duplication_threshold: float = 0.5  # real/nominal split (§4.1)
+    preset: int = 1  # LZMA preset for Capsule payloads
+    block_bytes: int = 64 * 1024 * 1024  # log block size (§2)
+    seed: int = 0  # determinism for sampling/probing
+
+    # -- feature switches (Fig 9 ablations) -------------------------------
+    use_real_patterns: bool = True  # tree expanding (§4.1)
+    use_nominal_patterns: bool = True  # pattern merging (§4.1)
+    use_stamps: bool = True  # Capsule stamp filtering (§4.3, §5.1)
+    use_padding: bool = True  # fixed-length matching (§5.2)
+    use_query_cache: bool = True  # refining-mode cache (§3)
+
+    # -- extensions beyond the paper ---------------------------------------
+    use_block_bloom: bool = False  # block-level trigram Bloom pruning
+    bloom_bits_per_trigram: int = 10
+
+    # -- query-side --------------------------------------------------------
+    # The paper's fixed-length matcher is Boyer-Moore (§5.2); it is the
+    # default so scan cost stays proportional to bytes scanned, which is
+    # what makes the filtering techniques measurable.  "native" swaps in
+    # CPython's C substring search for raw speed.
+    engine: str = "boyer-moore"
+    cache_capacity: int = 4096
+    # Blocks are independent, so queries parallelize trivially (§6's
+    # "both compression and query execution can easily be parallelized";
+    # the paper normalizes to one CPU, hence default 1).
+    query_parallelism: int = 1
+
+    def encoding_options(self, seed: int = None) -> EncodingOptions:
+        return EncodingOptions(
+            use_real_patterns=self.use_real_patterns,
+            use_nominal_patterns=self.use_nominal_patterns,
+            use_padding=self.use_padding,
+            duplication_threshold=self.duplication_threshold,
+            sample_rate=self.sample_rate,
+            preset=self.preset,
+            seed=self.seed if seed is None else seed,
+        )
+
+    def query_settings(self) -> QuerySettings:
+        # The paper pairs padding with Boyer-Moore and the w/o-fixed
+        # ablation with KMP; when padding is disabled and the engine was
+        # left at the paper's default, fall back the same way.
+        engine = self.engine
+        if not self.use_padding and engine == "boyer-moore":
+            engine = "kmp"
+        return QuerySettings(use_stamps=self.use_stamps, engine=engine)
+
+
+def ablated(name: str, base: LogGrepConfig = None) -> LogGrepConfig:
+    """Build one of Fig 9's ablated configurations by its paper name."""
+    base = base or LogGrepConfig()
+    if name == "w/o real":
+        return replace(base, use_real_patterns=False)
+    if name == "w/o nomi":
+        return replace(base, use_nominal_patterns=False)
+    if name == "w/o stamp":
+        return replace(base, use_stamps=False)
+    if name == "w/o fixed":
+        return replace(base, use_padding=False)
+    if name == "w/o cache":
+        return replace(base, use_query_cache=False)
+    raise ValueError(f"unknown ablation {name!r}; choose from {ABLATIONS}")
+
+
+def sp_config(base: LogGrepConfig = None) -> LogGrepConfig:
+    """LogGrep-SP (§2.2): static patterns only, no runtime structurization.
+
+    The first attempt stored whole variable vectors with vector-level
+    summaries and no padding, scanned with KMP.
+    """
+    base = base or LogGrepConfig()
+    return replace(
+        base,
+        use_real_patterns=False,
+        use_nominal_patterns=False,
+        use_padding=False,
+    )

@@ -1,0 +1,130 @@
+"""Log lifecycle management: near-line → offline transition (§1).
+
+The paper's taxonomy: *online* logs are queried constantly (ES territory),
+*near-line* logs are LogGrep's target, and after 6-12 months logs become
+*offline* — almost never queried, kept for compliance, so only the ratio
+matters.  This module implements the transition:
+
+* :func:`archive_offline` rewrites near-line CapsuleBoxes into offline
+  archives — several blocks merged (amortizing template/metadata overhead)
+  and recompressed at a high LZMA preset.  Offline archives remain valid
+  LogGrep archives: queries still work, just against bigger, colder blocks.
+* :func:`transition_analysis` uses Equation 1 to answer the operational
+  question: given the residual query rate, does recompressing pay for
+  itself, and how much does a TB-month cost in each tier?
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..blockstore.store import ArchiveStore, MemoryStore
+from ..cost.model import CostParameters
+from .config import LogGrepConfig
+from .loggrep import LogGrep
+
+
+def offline_config(base: Optional[LogGrepConfig] = None) -> LogGrepConfig:
+    """The offline tier trades everything for ratio: maximum LZMA preset,
+    big merged blocks, no Bloom filters (almost no queries to speed up)."""
+    base = base or LogGrepConfig()
+    return replace(
+        base,
+        preset=9,
+        block_bytes=max(base.block_bytes * 4, base.block_bytes),
+        use_block_bloom=False,
+    )
+
+
+@dataclass
+class OfflineReport:
+    """What the near-line → offline rewrite achieved."""
+
+    nearline_bytes: int
+    offline_bytes: int
+    nearline_blocks: int
+    offline_blocks: int
+    recompress_seconds: float
+    raw_bytes: int
+
+    @property
+    def ratio_gain(self) -> float:
+        """offline ratio / near-line ratio (> 1 means offline is smaller)."""
+        if self.offline_bytes == 0 or self.nearline_bytes == 0:
+            return 0.0
+        return self.nearline_bytes / self.offline_bytes
+
+
+def archive_offline(
+    nearline: LogGrep,
+    store: Optional[ArchiveStore] = None,
+    config: Optional[LogGrepConfig] = None,
+) -> "tuple[LogGrep, OfflineReport]":
+    """Rewrite a near-line archive into the offline tier.
+
+    Returns the offline LogGrep handle (still fully queryable) and the
+    accounting report.
+    """
+    config = config or offline_config(nearline.config)
+    store = store if store is not None else MemoryStore()
+    start = time.perf_counter()
+
+    lines = nearline.decompress_all()
+    offline = LogGrep(store=store, config=config)
+    offline.compress(lines)
+
+    recompress_seconds = time.perf_counter() - start
+    report = OfflineReport(
+        nearline_bytes=nearline.storage_bytes(),
+        offline_bytes=offline.storage_bytes(),
+        nearline_blocks=len(nearline.store.names()),
+        offline_blocks=len(offline.store.names()),
+        recompress_seconds=recompress_seconds,
+        raw_bytes=nearline.raw_bytes,
+    )
+    return offline, report
+
+
+@dataclass
+class TransitionAnalysis:
+    """Equation-1 economics of moving a TB to the offline tier."""
+
+    nearline_monthly_per_tb: float  # storage $ per TB-month, near-line
+    offline_monthly_per_tb: float  # storage $ per TB-month, offline
+    recompression_cost_per_tb: float  # one-time CPU $ per TB
+    breakeven_months: float  # months of offline residency to pay it off
+
+    @property
+    def worthwhile_within(self) -> bool:
+        """True when the rewrite pays off inside a year."""
+        return self.breakeven_months <= 12.0
+
+
+def transition_analysis(
+    nearline_ratio: float,
+    offline_ratio: float,
+    recompress_speed_mb_s: float,
+    params: CostParameters = CostParameters(),
+) -> TransitionAnalysis:
+    """When does offline recompression pay for itself?
+
+    The monthly saving is the storage-price delta between the two ratios;
+    the one-time cost is the CPU to decompress + recompress a TB.
+    """
+    if nearline_ratio <= 0 or offline_ratio <= 0 or recompress_speed_mb_s <= 0:
+        raise ValueError("ratios and speed must be positive")
+    tb_gb = 1000.0
+    nearline_monthly = params.storage_dollars_per_gb_month * tb_gb / nearline_ratio
+    offline_monthly = params.storage_dollars_per_gb_month * tb_gb / offline_ratio
+    hours = (1e12 / (recompress_speed_mb_s * 1e6)) / 3600.0
+    recompress_cost = params.cpu_dollars_per_hour * hours
+    saving = nearline_monthly - offline_monthly
+    breakeven = float("inf") if saving <= 0 else recompress_cost / saving
+    return TransitionAnalysis(
+        nearline_monthly_per_tb=nearline_monthly,
+        offline_monthly_per_tb=offline_monthly,
+        recompression_cost_per_tb=recompress_cost,
+        breakeven_months=breakeven,
+    )

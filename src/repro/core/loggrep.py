@@ -1,0 +1,324 @@
+"""The LogGrep facade: compress log streams, run grep-like queries.
+
+This is the public entry point of the library::
+
+    from repro import LogGrep
+
+    lg = LogGrep()
+    lg.compress(lines)                      # → CapsuleBoxes in the store
+    result = lg.grep("ERROR AND dst:11.8.*")
+    for line in result.lines:
+        print(line)
+
+``LogGrep`` owns an :class:`~repro.blockstore.store.ArchiveStore` (defaults
+to an in-memory one), a :class:`~repro.core.config.LogGrepConfig` (whose
+feature switches implement the §6.3 ablations) and the refining-mode query
+cache.  Timings for compression and querying are recorded so the benchmark
+harness and the Equation-1 cost model can read them off directly.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..blockstore.block import split_lines
+from ..blockstore.store import ArchiveStore, MemoryStore
+from ..capsule.box import CapsuleBox
+from ..common.rowset import RowSet
+from ..query.blockfilter import command_might_match
+from ..query.cache import QueryCache
+from ..query.engine import BlockEngine, GroupRows
+from ..query.language import QueryCommand, parse_query
+from ..query.stats import QueryStats
+from .compressor import compress_block
+from .config import LogGrepConfig
+from .reconstructor import BlockReconstructor
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class GrepResult:
+    """The outcome of one query."""
+
+    lines: List[str]
+    line_ids: List[int]
+    stats: QueryStats
+    elapsed: float
+
+    @property
+    def count(self) -> int:
+        return len(self.lines)
+
+
+@dataclass
+class CompressionReport:
+    """Accounting of one compress() call."""
+
+    blocks: int
+    raw_bytes: int
+    compressed_bytes: int
+    elapsed: float
+
+    @property
+    def ratio(self) -> float:
+        return self.raw_bytes / self.compressed_bytes if self.compressed_bytes else 0.0
+
+    @property
+    def speed_mb_s(self) -> float:
+        return (self.raw_bytes / 1e6) / self.elapsed if self.elapsed else 0.0
+
+
+@dataclass
+class LogGrep:
+    """Compress-and-query store for near-line logs."""
+
+    store: ArchiveStore = field(default_factory=MemoryStore)
+    config: LogGrepConfig = field(default_factory=LogGrepConfig)
+
+    def __post_init__(self) -> None:
+        self.cache = QueryCache(self.config.cache_capacity)
+        self.compress_seconds = 0.0
+        self.raw_bytes = 0
+        self._next_block_id = 0
+        self._next_line_id = 0
+        self._box_cache: Dict[str, CapsuleBox] = {}
+
+    # ------------------------------------------------------------------
+    # compression
+    # ------------------------------------------------------------------
+    def compress(self, lines: Iterable[str]) -> CompressionReport:
+        """Split *lines* into blocks, compress each, persist CapsuleBoxes."""
+        start = time.perf_counter()
+        blocks = 0
+        raw = 0
+        compressed = 0
+        for block in split_lines(lines, self.config.block_bytes):
+            block.block_id = self._next_block_id
+            block.first_line_id = self._next_line_id
+            self._next_block_id += 1
+            self._next_line_id += block.num_lines
+            name = self._block_name(block.block_id)
+            data = compress_block(block, self.config).serialize()
+            self.store.put(name, data)
+            self.cache.invalidate_block(name)
+            self._box_cache.pop(name, None)
+            blocks += 1
+            raw += block.raw_bytes
+            compressed += len(data)
+        elapsed = time.perf_counter() - start
+        self.compress_seconds += elapsed
+        self.raw_bytes += raw
+        report = CompressionReport(blocks, raw, compressed, elapsed)
+        logger.debug(
+            "compressed %d block(s): %d -> %d bytes (%.2fx) in %.3fs",
+            blocks, raw, compressed, report.ratio, elapsed,
+        )
+        return report
+
+    def compress_text(self, text: str) -> CompressionReport:
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        return self.compress(lines)
+
+    @staticmethod
+    def _block_name(block_id: int) -> str:
+        return f"block-{block_id:08d}.lgcb"
+
+    # ------------------------------------------------------------------
+    # query
+    # ------------------------------------------------------------------
+    def grep(self, command: str, ignore_case: bool = False) -> GrepResult:
+        """Execute a grep-like query command over every stored block.
+
+        ``ignore_case`` applies grep ``-i`` semantics (an extension; the
+        paper's queries are case-sensitive).
+        """
+        start = time.perf_counter()
+        parsed = parse_query(command, ignore_case)
+        stats = QueryStats()
+        entries: List[Tuple[int, str]] = []
+        names = self.store.names()
+        if self.config.query_parallelism > 1 and len(names) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(self.config.query_parallelism) as pool:
+                for block_entries in pool.map(
+                    lambda name: self._grep_block(name, parsed, QueryStats()),
+                    names,
+                ):
+                    entries.extend(block_entries)
+            stats.blocks_visited = len(names)
+        else:
+            for name in names:
+                entries.extend(self._grep_block(name, parsed, stats))
+        entries.sort(key=lambda item: item[0])
+        stats.entries_matched = len(entries)
+        elapsed = time.perf_counter() - start
+        logger.debug(
+            "grep %r: %d hit(s) in %.1fms (%d capsules opened, %d filtered, "
+            "%d blocks pruned)",
+            command, len(entries), elapsed * 1000,
+            stats.capsules_decompressed, stats.capsules_filtered,
+            stats.blocks_pruned,
+        )
+        return GrepResult(
+            [text for _, text in entries],
+            [line_id for line_id, _ in entries],
+            stats,
+            elapsed,
+        )
+
+    def count(self, command: str, ignore_case: bool = False) -> int:
+        """Number of matching entries, skipping reconstruction entirely.
+
+        Counting only needs the located row sets, so no Capsule of a hit
+        group is decompressed beyond what matching required — much cheaper
+        than :meth:`grep` for large result sets (grep -c).
+        """
+        parsed = parse_query(command, ignore_case)
+        stats = QueryStats()
+        total = 0
+        for name in self.store.names():
+            hits, _, _ = self._locate_block(name, parsed, stats)
+            total += sum(len(rows) for rows in hits.values())
+        return total
+
+    def _grep_block(
+        self, name: str, command: QueryCommand, stats: QueryStats
+    ) -> List[Tuple[int, str]]:
+        hits, box, engine = self._locate_block(name, command, stats)
+        if not hits:
+            return []
+        reconstructor = BlockReconstructor(
+            box, self.config.query_settings(), stats, readers=engine._readers
+        )
+        return reconstructor.reconstruct(hits)
+
+    def _locate_block(self, name: str, command: QueryCommand, stats: QueryStats):
+        stats.blocks_visited += 1
+        if self.config.use_block_bloom and name not in self._box_cache:
+            # The Bloom filter sits before the metadata section, so pruning
+            # never pays the box deserialization.
+            data = self.store.get(name)
+            bloom = CapsuleBox.read_bloom(data)
+            if bloom is not None and not command_might_match(bloom, command):
+                stats.blocks_pruned += 1
+                return {}, None, None
+            box = CapsuleBox.deserialize(data)
+        else:
+            box = self._load_box(name)
+        engine = BlockEngine(box, self.config.query_settings(), stats)
+
+        def resolver(search) -> GroupRows:
+            if self.config.use_query_cache:
+                cached = self.cache.get(name, search.cache_key)
+                if cached is not None:
+                    stats.cache_hits += 1
+                    return cached
+            rows = engine.search_string_rows(search)
+            if self.config.use_query_cache:
+                self.cache.put(name, search.cache_key, rows)
+            return rows
+
+        hits = engine.execute(command, resolver)
+        return hits, box, engine
+
+    def _load_box(self, name: str) -> CapsuleBox:
+        # Boxes are deserialized per query by default (the paper reads the
+        # CapsuleBox from storage for every command); an explicit opt-in
+        # cache exists for interactive refining sessions.
+        box = self._box_cache.get(name)
+        if box is None:
+            box = CapsuleBox.deserialize(self.store.get(name))
+        return box
+
+    def explain(self, command: str, ignore_case: bool = False) -> str:
+        """Human-readable plan: what stamps and patterns decide per block.
+
+        Shows, per (keyword, vector) pair, whether the Capsules would be
+        filtered without decompression, narrowed to candidate matches, or
+        scanned — the §5.1 decisions made visible.
+        """
+        from ..query.explain import explain_block
+
+        parsed = parse_query(command, ignore_case)
+        reports = []
+        for name in self.store.names():
+            box = self._load_box(name)
+            reports.append(explain_block(box, parsed, name).summary())
+        return "\n\n".join(reports)
+
+    def clear_query_cache(self) -> None:
+        """Drop all cached search-string results (cold-query measurements)."""
+        self.cache.clear()
+
+    def pin_blocks_in_memory(self) -> None:
+        """Keep deserialized boxes across queries (refining sessions)."""
+        for name in self.store.names():
+            self._box_cache[name] = CapsuleBox.deserialize(self.store.get(name))
+
+    def unpin_blocks(self) -> None:
+        self._box_cache.clear()
+
+    def open_session(self) -> "LogGrepSession":
+        """Start an interactive refining-mode session (§3).
+
+        While the session is open, CapsuleBoxes stay deserialized and
+        decompressed Capsule payloads are retained, so each refinement of
+        a query only pays for the *new* work — together with the Query
+        Cache this is the paper's debugging workflow."""
+        return LogGrepSession(self)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        return self.store.total_bytes()
+
+    def compression_ratio(self) -> float:
+        stored = self.storage_bytes()
+        return self.raw_bytes / stored if stored else 0.0
+
+    def decompress_all(self) -> List[str]:
+        """Rebuild every stored line in global order (round-trip check)."""
+        entries: List[Tuple[int, str]] = []
+        for name in self.store.names():
+            box = self._load_box(name)
+            reconstructor = BlockReconstructor(box, self.config.query_settings())
+            for group_idx, group in enumerate(box.groups):
+                rows = RowSet.full(group.num_entries)
+                for row in rows:
+                    entries.append(reconstructor.entry(group_idx, row))
+        entries.sort(key=lambda item: item[0])
+        return [text for _, text in entries]
+
+
+class LogGrepSession:
+    """Context manager pinning archive state for interactive querying."""
+
+    def __init__(self, loggrep: "LogGrep"):
+        self.loggrep = loggrep
+        self.queries_run = 0
+        loggrep.pin_blocks_in_memory()
+
+    def grep(self, command: str, ignore_case: bool = False) -> GrepResult:
+        self.queries_run += 1
+        return self.loggrep.grep(command, ignore_case)
+
+    def count(self, command: str, ignore_case: bool = False) -> int:
+        self.queries_run += 1
+        return self.loggrep.count(command, ignore_case)
+
+    def close(self) -> None:
+        self.loggrep.unpin_blocks()
+
+    def __enter__(self) -> "LogGrepSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

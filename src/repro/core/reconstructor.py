@@ -1,0 +1,106 @@
+"""Reconstruction of original log entries (paper §3).
+
+Given the located rows of a query, the Reconstructor decompresses the
+Capsules of each hit group, fetches the row's value from every variable
+vector (an O(1) slice thanks to fixed-length padding), fills the values
+into the static and runtime patterns, and finally merges entries from
+different groups back into their global order.
+
+The paper merges by timestamp; we record each entry's line id inside the
+block (plus the block's first global line id), which yields the identical
+total order and also covers logs without timestamps — the fallback the
+paper describes but did not need for Alibaba logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..capsule.box import CapsuleBox
+from ..common.rowset import RowSet
+from ..query.stats import QueryStats
+from ..query.vectors import QuerySettings, make_reader
+
+#: Above this many hits in one group, reconstruction decodes each Capsule
+#: once (bulk) instead of fetching values row by row.
+BULK_THRESHOLD = 16
+
+
+class BlockReconstructor:
+    """Rebuilds entries of one CapsuleBox."""
+
+    def __init__(
+        self,
+        box: CapsuleBox,
+        settings: Optional[QuerySettings] = None,
+        stats: Optional[QueryStats] = None,
+        readers: Optional[Dict[tuple, object]] = None,
+    ):
+        self.box = box
+        self.settings = settings or QuerySettings()
+        self.stats = stats if stats is not None else QueryStats()
+        # Reader cache may be shared with the BlockEngine so Capsules
+        # decompressed during matching are reused for reconstruction.
+        self._readers = readers if readers is not None else {}
+
+    def _reader(self, group_idx: int, var_idx: int):
+        key = (group_idx, var_idx)
+        reader = self._readers.get(key)
+        if reader is None:
+            encoded = self.box.groups[group_idx].vectors[var_idx]
+            reader = make_reader(encoded, self.settings, self.stats)
+            self._readers[key] = reader
+        return reader
+
+    # ------------------------------------------------------------------
+    def entry(self, group_idx: int, row: int) -> Tuple[int, str]:
+        """(global line id, original text) of one entry."""
+        group = self.box.groups[group_idx]
+        values = [
+            self._reader(group_idx, var_idx).value_at(row)
+            for var_idx in range(len(group.vectors))
+        ]
+        text = group.template.render(values)
+        line_id = self.box.first_line_id + group.line_ids[row]
+        return line_id, text
+
+    def reconstruct(self, hits: Dict[int, RowSet]) -> List[Tuple[int, str]]:
+        """Rebuild all hit entries, merged into global order."""
+        entries: List[Tuple[int, str]] = []
+        for group_idx, rows in hits.items():
+            group_rows = self.box.groups[group_idx].num_entries
+            # Bulk decode pays one pass over the whole group, so it only
+            # wins when a sizable fraction of the group's rows hit.
+            if len(rows) > max(BULK_THRESHOLD, group_rows // 4):
+                entries.extend(self._bulk_entries(group_idx, rows))
+            else:
+                for row in rows:
+                    entries.append(self.entry(group_idx, row))
+        entries.sort(key=lambda item: item[0])
+        return entries
+
+    def _bulk_entries(
+        self, group_idx: int, rows: RowSet
+    ) -> List[Tuple[int, str]]:
+        """Render many rows of one group with one decode pass per Capsule."""
+        group = self.box.groups[group_idx]
+        columns = [
+            self._reader(group_idx, var_idx).values_list()
+            for var_idx in range(len(group.vectors))
+        ]
+        render = group.template.render
+        base = self.box.first_line_id
+        line_ids = group.line_ids
+        return [
+            (base + line_ids[row], render([column[row] for column in columns]))
+            for row in rows
+        ]
+
+    def all_lines(self) -> List[str]:
+        """Decompress the entire block (used by round-trip tests)."""
+        full = {
+            group_idx: RowSet.full(group.num_entries)
+            for group_idx, group in enumerate(self.box.groups)
+            if group.num_entries
+        }
+        return [text for _, text in self.reconstruct(full)]

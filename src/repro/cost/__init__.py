@@ -1,0 +1,15 @@
+"""Equation 1: the overall-cost model of the evaluation."""
+
+from .model import (
+    CostBreakdown,
+    CostParameters,
+    breakeven_query_frequency,
+    overall_cost,
+)
+
+__all__ = [
+    "CostParameters",
+    "CostBreakdown",
+    "overall_cost",
+    "breakeven_query_frequency",
+]

@@ -1,0 +1,101 @@
+"""The overall-cost model — Equation 1 of the paper (§6).
+
+::
+
+    C_total = C_storage · Duration · Size / CompressionRatio
+            + C_CPU · Size / CompressionSpeed
+            + C_CPU · QueryLatency · QueryFrequency
+
+Defaults are the paper's: $0.017 per GB-month of storage (erasure coding
+included), 6 months retention, $0.016 per CPU-hour, and a default query
+frequency of 100 over the retention period.  Costs are reported per TB of
+raw logs, matching Fig 8's y-axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1e9
+TB = 1e12
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Pricing constants of Equation 1."""
+
+    storage_dollars_per_gb_month: float = 0.017
+    duration_months: float = 6.0
+    cpu_dollars_per_hour: float = 0.016
+    query_frequency: float = 100.0
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-TB dollar cost, split the way Fig 8's stacked bars are."""
+
+    storage: float
+    compression: float
+    query: float
+
+    @property
+    def total(self) -> float:
+        return self.storage + self.compression + self.query
+
+    def scaled(self, factor: float) -> "CostBreakdown":
+        return CostBreakdown(
+            self.storage * factor, self.compression * factor, self.query * factor
+        )
+
+
+def overall_cost(
+    compression_ratio: float,
+    compression_speed_mb_s: float,
+    query_latency_seconds_per_tb: float,
+    params: CostParameters = CostParameters(),
+) -> CostBreakdown:
+    """Equation 1 evaluated for 1 TB of raw logs.
+
+    ``query_latency_seconds_per_tb`` is the latency of one query over a TB
+    of (compressed) logs; the model multiplies it by the query frequency.
+    """
+    if compression_ratio <= 0 or compression_speed_mb_s <= 0:
+        raise ValueError("ratio and speed must be positive")
+    size_gb = TB / GB
+    storage = (
+        params.storage_dollars_per_gb_month
+        * params.duration_months
+        * size_gb
+        / compression_ratio
+    )
+    compression_hours = (TB / (compression_speed_mb_s * 1e6)) / 3600.0
+    compression = params.cpu_dollars_per_hour * compression_hours
+    query_hours = query_latency_seconds_per_tb * params.query_frequency / 3600.0
+    query = params.cpu_dollars_per_hour * query_hours
+    return CostBreakdown(storage, compression, query)
+
+
+def breakeven_query_frequency(
+    base: CostBreakdown,
+    base_latency_s: float,
+    other: CostBreakdown,
+    other_latency_s: float,
+    params: CostParameters = CostParameters(),
+) -> float:
+    """Query frequency above which *other* becomes cheaper than *base*.
+
+    This reproduces §6.1's computation of when ElasticSearch's lower query
+    latency would amortize its storage/ingest premium.  Returns ``inf``
+    when *other* is never cheaper (its latency is not lower).
+    """
+    fixed_base = base.storage + base.compression
+    fixed_other = other.storage + other.compression
+    per_query_base = params.cpu_dollars_per_hour * base_latency_s / 3600.0
+    per_query_other = params.cpu_dollars_per_hour * other_latency_s / 3600.0
+    saving_per_query = per_query_base - per_query_other
+    if saving_per_query <= 0:
+        return float("inf")
+    premium = fixed_other - fixed_base
+    if premium <= 0:
+        return 0.0
+    return premium / saving_per_query

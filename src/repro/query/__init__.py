@@ -1,0 +1,38 @@
+"""Query stack: language, locator, matchers, readers, engine and cache (§5)."""
+
+from .cache import QueryCache
+from .engine import BlockEngine, GroupRows
+from .language import Keyword, QueryCommand, SearchString, Term, parse_query
+from .locator import TOO_COMPLEX, locate
+from .matcher import search_capsule
+from .modes import MatchMode, value_matches
+from .stats import QueryStats
+from .vectors import (
+    NominalVectorReader,
+    PlainVectorReader,
+    QuerySettings,
+    RealVectorReader,
+    make_reader,
+)
+
+__all__ = [
+    "parse_query",
+    "QueryCommand",
+    "SearchString",
+    "Term",
+    "Keyword",
+    "MatchMode",
+    "value_matches",
+    "locate",
+    "TOO_COMPLEX",
+    "search_capsule",
+    "QueryStats",
+    "QuerySettings",
+    "BlockEngine",
+    "GroupRows",
+    "QueryCache",
+    "RealVectorReader",
+    "NominalVectorReader",
+    "PlainVectorReader",
+    "make_reader",
+]

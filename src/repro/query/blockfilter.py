@@ -1,0 +1,40 @@
+"""Block-level query pruning via trigram Bloom filters (extension).
+
+:func:`command_might_match` decides whether a whole CapsuleBox can be
+skipped for a query: if every OR-branch contains some positive literal
+fragment whose trigrams are missing from the block's Bloom filter, no
+entry of the block can match.  Wildcard keywords contribute their literal
+runs; ignore-case and short (<3 char) fragments cannot be checked and
+conservatively pass — the prune is always sound, never lossy.
+"""
+
+from __future__ import annotations
+
+from ..common.bloom import BloomFilter
+from .language import QueryCommand, Term
+
+
+def term_might_match(bloom: BloomFilter, term: Term) -> bool:
+    """Could this (positive) term match some line of the block?"""
+    if term.negated:
+        # A negated term is satisfied by absence; it cannot prune.
+        return True
+    search = term.search
+    if search.ignore_case:
+        return True  # trigrams are case-exact
+    for keyword in search.keywords:
+        fragments = (
+            keyword.literals() if keyword.is_wildcard else [keyword.text]
+        )
+        for fragment in fragments:
+            if not bloom.might_contain_text(fragment):
+                return False
+    return True
+
+
+def command_might_match(bloom: BloomFilter, command: QueryCommand) -> bool:
+    """Could any entry of the block satisfy *command*?"""
+    for disjunct in command.disjuncts:
+        if all(term_might_match(bloom, term) for term in disjunct):
+            return True
+    return False

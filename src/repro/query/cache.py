@@ -1,0 +1,72 @@
+"""Query Cache (paper §3, §6.3).
+
+LogGrep keeps a hashmap from query text to located rows so that the
+*refining mode* — an engineer growing ``ERROR`` into ``ERROR AND x`` into
+``ERROR AND x NOT y`` over a debugging session — never re-matches a search
+string it has already located.  The cache is keyed per (block, search
+string) and stores group row sets, the exact intermediate the engine
+consumes, so cached entries compose under AND/OR/NOT for free.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from ..common.rowset import RowSet
+
+#: Block-level located rows (group index → row set).
+GroupRows = Dict[int, RowSet]
+
+DEFAULT_CAPACITY = 4096
+
+
+class QueryCache:
+    """A bounded LRU of per-block search-string results."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, GroupRows]" = OrderedDict()
+        # Parallel query execution (query_parallelism > 1) shares the cache
+        # across worker threads.
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, block_name: str, search_text: str) -> Optional[GroupRows]:
+        key = (block_name, search_text)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, block_name: str, search_text: str, rows: GroupRows) -> None:
+        key = (block_name, search_text)
+        with self._lock:
+            self._entries[key] = rows
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate_block(self, block_name: str) -> None:
+        """Drop all entries of one block (used when a block is rewritten)."""
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == block_name]
+            for key in stale:
+                del self._entries[key]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,164 @@
+"""Query EXPLAIN: show what the Locator and stamps decided.
+
+``LogGrep.explain(command)`` walks the same planning the engine performs
+— token windows, runtime-pattern candidates, stamp checks — but instead of
+executing, it reports *why* each Capsule would or would not be touched.
+Invaluable for understanding a slow query and for teaching the §5
+machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..capsule.assembler import (
+    NominalEncodedVector,
+    PlainEncodedVector,
+    RealEncodedVector,
+)
+from ..capsule.box import CapsuleBox
+from ..query.language import QueryCommand, SearchString
+from ..query.locator import TOO_COMPLEX, locate
+from ..query.modes import MatchMode
+
+
+@dataclass
+class VectorPlan:
+    """What one keyword does to one variable vector."""
+
+    group: int
+    var: int
+    kind: str  # real / nominal / plain
+    keyword: str
+    mode: str
+    decision: str  # filtered / candidates / scan / regex-scan
+    detail: str = ""
+
+
+@dataclass
+class BlockPlan:
+    """Explain output for one block."""
+
+    block: str
+    template_hits: List[str] = field(default_factory=list)
+    vector_plans: List[VectorPlan] = field(default_factory=list)
+
+    def summary(self) -> str:
+        filtered = sum(1 for p in self.vector_plans if p.decision == "filtered")
+        total = len(self.vector_plans)
+        lines = [f"block {self.block}: {filtered}/{total} keyword-vector pairs filtered"]
+        for hit in self.template_hits:
+            lines.append(f"  template hit: {hit}")
+        for plan in self.vector_plans:
+            lines.append(
+                f"  g{plan.group}/v{plan.var} [{plan.kind}] "
+                f"{plan.keyword!r} ({plan.mode}): {plan.decision}"
+                + (f" — {plan.detail}" if plan.detail else "")
+            )
+        return "\n".join(lines)
+
+
+def explain_block(box: CapsuleBox, command: QueryCommand, name: str) -> BlockPlan:
+    """Plan every (search string keyword, vector) pair of one block."""
+    plan = BlockPlan(name)
+    searches: List[SearchString] = []
+    seen = set()
+    for search in command.search_strings():
+        if search.cache_key not in seen:
+            seen.add(search.cache_key)
+            searches.append(search)
+
+    for group_idx, group in enumerate(box.groups):
+        template = group.template
+        constants = [t for t in template.tokens if t is not None]
+        for search in searches:
+            for keyword in search.keywords:
+                if keyword.needs_regex:
+                    continue  # handled by the regex path; skip in summary
+                if any(keyword.text in const for const in constants):
+                    plan.template_hits.append(
+                        f"{keyword.text!r} inside static pattern of group {group_idx}"
+                    )
+        for var_idx, encoded in enumerate(group.vectors):
+            for search in searches:
+                for keyword in search.keywords:
+                    plan.vector_plans.append(
+                        _plan_vector(group_idx, var_idx, encoded, keyword)
+                    )
+    return plan
+
+
+def _plan_vector(group_idx: int, var_idx: int, encoded, keyword) -> VectorPlan:
+    mode = MatchMode.SUBSTRING
+    base = dict(
+        group=group_idx,
+        var=var_idx,
+        keyword=keyword.text,
+        mode=mode.value,
+    )
+    if keyword.needs_regex:
+        return VectorPlan(
+            kind=_kind(encoded), decision="regex-scan",
+            detail="wildcard/ignore-case keywords verify candidate rows by regex",
+            **base,
+        )
+    if isinstance(encoded, RealEncodedVector):
+        stamps = [c.stamp for c in encoded.subvar_capsules]
+        candidates = locate(encoded.pattern, stamps, keyword.text, mode)
+        if candidates is TOO_COMPLEX:
+            decision, detail = "scan", "candidate enumeration exceeded budget"
+        elif not candidates:
+            decision = "filtered"
+            detail = f"pattern {encoded.pattern.display()!r} + stamps prove absence"
+        elif candidates == [()]:
+            decision, detail = "candidates", "keyword inside the runtime pattern's constants"
+        else:
+            decision = "candidates"
+            detail = f"{len(candidates)} possible match(es)"
+        if encoded.outlier_rows and decision == "filtered":
+            decision = "candidates"
+            detail += "; outlier capsule still scanned"
+        return VectorPlan(kind="real", decision=decision, detail=detail, **base)
+    if isinstance(encoded, NominalEncodedVector):
+        alive = 0
+        for dp in encoded.dict_patterns:
+            from ..capsule.stamp import CapsuleStamp
+
+            stamps = [
+                CapsuleStamp(m, l)
+                for m, l in zip(dp.subvar_masks, dp.subvar_maxlens)
+            ]
+            result = locate(dp.pattern, stamps, keyword.text, mode)
+            if result is TOO_COMPLEX or result:
+                alive += 1
+        if alive == 0:
+            return VectorPlan(
+                kind="nominal", decision="filtered",
+                detail="no dictionary pattern can produce the keyword",
+                **base,
+            )
+        return VectorPlan(
+            kind="nominal", decision="candidates",
+            detail=f"{alive}/{len(encoded.dict_patterns)} dictionary region(s) to check",
+            **base,
+        )
+    if isinstance(encoded, PlainEncodedVector):
+        if not encoded.capsule.stamp.admits(keyword.text):
+            return VectorPlan(
+                kind="plain", decision="filtered",
+                detail="vector-level stamp rejects the keyword",
+                **base,
+            )
+        return VectorPlan(
+            kind="plain", decision="scan", detail="whole-vector scan required", **base
+        )
+    return VectorPlan(kind="?", decision="scan", **base)
+
+
+def _kind(encoded) -> str:
+    if isinstance(encoded, RealEncodedVector):
+        return "real"
+    if isinstance(encoded, NominalEncodedVector):
+        return "nominal"
+    return "plain"

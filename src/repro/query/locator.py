@@ -1,0 +1,259 @@
+"""Capsule locating and filtering (paper §5.1, Fig 6).
+
+Given a keyword and a runtime pattern, the Locator enumerates every way
+the keyword could occur in a value following that pattern.  Each *possible
+match* is a set of constraints — (sub-variable, fragment, mode) triples —
+that certain Capsules would have to satisfy; the final row set is the
+union over possible matches of the intersection of each match's per-
+Capsule results.
+
+The recursion implements the paper's three constant cases:
+
+* **head**: a suffix of the constant is a prefix of the keyword → the rest
+  of the keyword must be a *prefix* of what follows;
+* **tail**: a prefix of the constant is a suffix of the keyword → the rest
+  must be a *suffix* of what precedes;
+* **body**: the constant is an interior substring of the keyword → prefix
+  and suffix recursions on both sides, intersected.
+
+Stamps are checked while constraints are generated, so impossible matches
+are pruned before any Capsule is decompressed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..capsule.stamp import CapsuleStamp
+from ..runtime.pattern import Const, RuntimePattern, SubVar
+from .modes import MatchMode
+
+#: (sub-variable index, fragment, mode) — a requirement on one Capsule.
+Constraint = Tuple[int, str, MatchMode]
+
+#: One possible match: constraints that must *all* hold.  The empty tuple
+#: means the keyword is satisfied by the pattern's constants alone — every
+#: value following the pattern matches.
+Candidate = Tuple[Constraint, ...]
+
+#: Sentinel: the candidate enumeration exploded; the caller must fall back
+#: to scanning the vector (correct, just slower).
+TOO_COMPLEX = None
+
+#: Enumeration budget before giving up and returning TOO_COMPLEX.
+MAX_CANDIDATES = 128
+
+
+def locate(
+    pattern: RuntimePattern,
+    stamps: Sequence[CapsuleStamp],
+    fragment: str,
+    mode: MatchMode,
+    use_stamps: bool = True,
+) -> Optional[List[Candidate]]:
+    """Enumerate the possible matches of *fragment* against *pattern*.
+
+    ``stamps[i]`` is the stamp of sub-variable ``i``'s Capsule.  Returns a
+    deduplicated candidate list, or :data:`TOO_COMPLEX` when the search
+    space exceeded :data:`MAX_CANDIDATES`.
+    """
+    locator = _Locator(pattern, stamps, use_stamps)
+    try:
+        if mode is MatchMode.SUBSTRING:
+            raw = locator.match_substring(fragment)
+        elif mode is MatchMode.PREFIX:
+            raw = locator.match_prefix(0, fragment)
+        elif mode is MatchMode.SUFFIX:
+            raw = locator.match_suffix(len(pattern.elements), fragment)
+        else:
+            raw = locator.match_exact(0, fragment)
+    except _Exploded:
+        return TOO_COMPLEX
+    seen = set()
+    out: List[Candidate] = []
+    for candidate in raw:
+        key = frozenset(candidate)
+        if key not in seen:
+            seen.add(key)
+            out.append(candidate)
+        if not candidate:
+            # An unconditional match subsumes everything else.
+            return [()]
+    return out
+
+
+class _Exploded(Exception):
+    """Internal: candidate budget exceeded."""
+
+
+class _Locator:
+    def __init__(
+        self,
+        pattern: RuntimePattern,
+        stamps: Sequence[CapsuleStamp],
+        use_stamps: bool,
+    ):
+        self.elements = pattern.elements
+        self.stamps = stamps
+        self.use_stamps = use_stamps
+        self.produced = 0
+        self._prefix_memo: Dict[Tuple[int, str], List[Candidate]] = {}
+        self._suffix_memo: Dict[Tuple[int, str], List[Candidate]] = {}
+        self._exact_memo: Dict[Tuple[int, str], List[Candidate]] = {}
+
+    # ------------------------------------------------------------------
+    def _admits(self, subvar: int, fragment: str) -> bool:
+        if not self.use_stamps:
+            return True
+        return self.stamps[subvar].admits(fragment)
+
+    def _max_len(self, subvar: int) -> int:
+        if not self.use_stamps:
+            return 1 << 30
+        return self.stamps[subvar].max_len
+
+    def _budget(self, count: int = 1) -> None:
+        self.produced += count
+        if self.produced > MAX_CANDIDATES:
+            raise _Exploded()
+
+    # ------------------------------------------------------------------
+    def match_prefix(self, i: int, frag: str) -> List[Candidate]:
+        """Ways *frag* can be a prefix of values of ``elements[i:]``."""
+        if not frag:
+            return [()]
+        key = (i, frag)
+        cached = self._prefix_memo.get(key)
+        if cached is not None:
+            return cached
+        out: List[Candidate] = []
+        if i < len(self.elements):
+            el = self.elements[i]
+            if isinstance(el, Const):
+                text = el.text
+                if len(frag) <= len(text):
+                    if text.startswith(frag):
+                        out.append(())
+                elif frag.startswith(text):
+                    out = self.match_prefix(i + 1, frag[len(text) :])
+            else:
+                subvar = el.index
+                if self._admits(subvar, frag):
+                    self._budget()
+                    out.append(((subvar, frag, MatchMode.PREFIX),))
+                top = min(len(frag) - 1, self._max_len(subvar))
+                for k in range(0, top + 1):
+                    head = frag[:k]
+                    if k and not self._admits(subvar, head):
+                        continue
+                    for rest in self.match_prefix(i + 1, frag[k:]):
+                        self._budget()
+                        out.append(((subvar, head, MatchMode.EXACT),) + rest)
+        self._prefix_memo[key] = out
+        return out
+
+    # ------------------------------------------------------------------
+    def match_suffix(self, j: int, frag: str) -> List[Candidate]:
+        """Ways *frag* can be a suffix of values of ``elements[:j]``."""
+        if not frag:
+            return [()]
+        key = (j, frag)
+        cached = self._suffix_memo.get(key)
+        if cached is not None:
+            return cached
+        out: List[Candidate] = []
+        if j > 0:
+            el = self.elements[j - 1]
+            if isinstance(el, Const):
+                text = el.text
+                if len(frag) <= len(text):
+                    if text.endswith(frag):
+                        out.append(())
+                elif frag.endswith(text):
+                    out = self.match_suffix(j - 1, frag[: -len(text)])
+            else:
+                subvar = el.index
+                if self._admits(subvar, frag):
+                    self._budget()
+                    out.append(((subvar, frag, MatchMode.SUFFIX),))
+                top = min(len(frag) - 1, self._max_len(subvar))
+                for k in range(0, top + 1):
+                    tail = frag[len(frag) - k :] if k else ""
+                    if k and not self._admits(subvar, tail):
+                        continue
+                    for rest in self.match_suffix(j - 1, frag[: len(frag) - k]):
+                        self._budget()
+                        out.append(((subvar, tail, MatchMode.EXACT),) + rest)
+        self._suffix_memo[key] = out
+        return out
+
+    # ------------------------------------------------------------------
+    def match_exact(self, i: int, frag: str) -> List[Candidate]:
+        """Ways *frag* can equal an entire value of ``elements[i:]``."""
+        key = (i, frag)
+        cached = self._exact_memo.get(key)
+        if cached is not None:
+            return cached
+        out: List[Candidate] = []
+        if i == len(self.elements):
+            if not frag:
+                out.append(())
+        else:
+            el = self.elements[i]
+            if isinstance(el, Const):
+                if frag.startswith(el.text):
+                    out = self.match_exact(i + 1, frag[len(el.text) :])
+            else:
+                subvar = el.index
+                top = min(len(frag), self._max_len(subvar))
+                for k in range(0, top + 1):
+                    head = frag[:k]
+                    if k and not self._admits(subvar, head):
+                        continue
+                    for rest in self.match_exact(i + 1, frag[k:]):
+                        self._budget()
+                        out.append(((subvar, head, MatchMode.EXACT),) + rest)
+        self._exact_memo[key] = out
+        return out
+
+    # ------------------------------------------------------------------
+    def match_substring(self, frag: str) -> List[Candidate]:
+        """Ways *frag* can occur anywhere in a value (the general case)."""
+        if not frag:
+            return [()]
+        out: List[Candidate] = []
+        for i, el in enumerate(self.elements):
+            if isinstance(el, SubVar):
+                if self._admits(el.index, frag):
+                    self._budget()
+                    out.append(((el.index, frag, MatchMode.SUBSTRING),))
+                continue
+            text = el.text
+            if frag in text:
+                # Fully inside the constant: every value matches.
+                return [()]
+            # Head case: constant suffix == keyword prefix.
+            top = min(len(text), len(frag) - 1)
+            for k in range(1, top + 1):
+                if text.endswith(frag[:k]):
+                    for rest in self.match_prefix(i + 1, frag[k:]):
+                        self._budget()
+                        out.append(rest)
+            # Tail case: constant prefix == keyword suffix.
+            for k in range(1, top + 1):
+                if text.startswith(frag[len(frag) - k :]):
+                    for rest in self.match_suffix(i, frag[: len(frag) - k]):
+                        self._budget()
+                        out.append(rest)
+            # Body case: constant strictly inside the keyword.
+            if len(text) < len(frag):
+                start = frag.find(text, 1)
+                while start != -1 and start + len(text) < len(frag):
+                    pres = self.match_suffix(i, frag[:start])
+                    posts = self.match_prefix(i + 1, frag[start + len(text) :])
+                    for pre in pres:
+                        for post in posts:
+                            self._budget()
+                            out.append(pre + post)
+                    start = frag.find(text, start + 1)
+        return out

@@ -1,0 +1,167 @@
+"""Fixed-length matching within decompressed Capsules (paper §5.2).
+
+For the fixed layout, every value occupies ``width`` bytes, so:
+
+* Boyer–Moore can be used even though it skips characters — the hit row is
+  ``position // width``;
+* candidate rows from one Capsule can be *checked directly* in another
+  Capsule without scanning it;
+* matches never silently cross value boundaries, because values cannot
+  contain the NUL pad byte (bounds are still checked explicitly).
+
+For the variable layout (the ``w/o fixed`` ablation and LogGrep-SP),
+values are NUL-separated and rows must be recovered by counting
+separators, which costs an offsets scan per Capsule — exactly the overhead
+padding exists to remove.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Optional, Sequence
+
+from ..capsule.capsule import LAYOUT_FIXED, PAD, Capsule
+from ..common.rowset import RowSet
+from ..common.textalgo import find_all
+from .modes import MatchMode, value_matches
+
+
+def search_capsule(
+    capsule: Capsule,
+    fragment: str,
+    mode: MatchMode,
+    engine: str = "native",
+    rows_hint: Optional[Sequence[int]] = None,
+) -> RowSet:
+    """Rows of *capsule* whose value matches *fragment* under *mode*.
+
+    ``rows_hint`` (§5.2's direct checking) restricts the test to candidate
+    rows found in another Capsule — only possible with the fixed layout.
+    """
+    if capsule.layout == LAYOUT_FIXED:
+        return _search_fixed(capsule, fragment, mode, engine, rows_hint)
+    return _search_variable(capsule, fragment, mode, engine)
+
+
+def _search_fixed(
+    capsule: Capsule,
+    fragment: str,
+    mode: MatchMode,
+    engine: str,
+    rows_hint: Optional[Sequence[int]],
+) -> RowSet:
+    n = capsule.count
+    width = capsule.width
+    result = RowSet.empty(n)
+    if n == 0:
+        return result
+    frag = fragment.encode("utf-8")
+    flen = len(frag)
+
+    if width == 0:
+        # Every value is the empty string: only the empty fragment matches.
+        return RowSet.full(n) if flen == 0 else result
+    if flen > width:
+        return result
+
+    buf = capsule.plain()
+
+    if flen == 0:
+        if mode is not MatchMode.EXACT:
+            return RowSet.full(n)  # "" is a prefix/suffix/substring of all
+        for row in range(n):
+            if buf[row * width] == 0:  # value is entirely padding
+                result.add(row)
+        return result
+
+    if rows_hint is not None:
+        # Direct checking of candidate rows (no scan).
+        for row in rows_hint:
+            start = row * width
+            value = buf[start : start + width]
+            if _slot_matches(value, frag, mode):
+                result.add(row)
+        return result
+
+    if mode is MatchMode.EXACT:
+        target = frag.ljust(width, PAD)
+        for pos in find_all(buf, target, engine):
+            if pos % width == 0:
+                result.add(pos // width)
+        return result
+
+    if mode is MatchMode.PREFIX:
+        for pos in find_all(buf, frag, engine):
+            if pos % width == 0:
+                result.add(pos // width)
+        return result
+
+    if mode is MatchMode.SUFFIX:
+        for pos in find_all(buf, frag, engine):
+            row = pos // width
+            end = pos + flen
+            if end > (row + 1) * width:
+                continue  # crosses a row boundary
+            if end == (row + 1) * width or buf[end] == 0:
+                result.add(row)
+        return result
+
+    # SUBSTRING: fragment contains no NUL, so a match that fits inside a
+    # row's slot lies entirely within the real (unpadded) value.
+    for pos in find_all(buf, frag, engine):
+        row = pos // width
+        if pos + flen <= (row + 1) * width:
+            result.add(row)
+    return result
+
+
+def _slot_matches(slot: bytes, frag: bytes, mode: MatchMode) -> bool:
+    value = slot.rstrip(PAD)
+    if mode is MatchMode.EXACT:
+        return value == frag
+    if mode is MatchMode.PREFIX:
+        return value.startswith(frag)
+    if mode is MatchMode.SUFFIX:
+        return value.endswith(frag)
+    return frag in value
+
+
+def _search_variable(
+    capsule: Capsule, fragment: str, mode: MatchMode, engine: str
+) -> RowSet:
+    """Variable-length layout: scan, then recover rows from separators."""
+    n = capsule.count
+    result = RowSet.empty(n)
+    if n == 0:
+        return result
+    buf = capsule.plain()
+    frag = fragment.encode("utf-8")
+
+    # Value boundaries: this offsets scan is the per-query cost that the
+    # paper's fixed-length padding eliminates.
+    offsets = [0]
+    pos = buf.find(PAD)
+    while pos != -1:
+        offsets.append(pos + 1)
+        pos = buf.find(PAD, pos + 1)
+
+    if len(frag) == 0 and mode is not MatchMode.EXACT:
+        return RowSet.full(n)
+
+    if mode is MatchMode.SUBSTRING:
+        flen = len(frag)
+        for pos in find_all(buf, frag, engine):
+            row = bisect_right(offsets, pos) - 1
+            end = offsets[row + 1] - 1 if row + 1 < len(offsets) else len(buf)
+            if pos + flen <= end:
+                result.add(row)
+        return result
+
+    text_frag = fragment
+    for row in range(n):
+        start = offsets[row]
+        end = offsets[row + 1] - 1 if row + 1 < len(offsets) else len(buf)
+        value = buf[start:end].decode("utf-8")
+        if value_matches(value, text_frag, mode):
+            result.add(row)
+    return result

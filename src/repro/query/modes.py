@@ -1,0 +1,31 @@
+"""Keyword matching modes (paper §5.1).
+
+Depending on where a keyword sits in a search string, it must occur in a
+value as a prefix, a suffix, an exact match or an arbitrary substring.
+The Locator's recursion also produces constraints in these four modes for
+individual sub-variable vectors.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MatchMode(enum.Enum):
+    """How a fragment must occur within a value."""
+
+    EXACT = "exact"
+    PREFIX = "prefix"
+    SUFFIX = "suffix"
+    SUBSTRING = "substring"
+
+
+def value_matches(value: str, fragment: str, mode: MatchMode) -> bool:
+    """Test *fragment* against a single concrete value."""
+    if mode is MatchMode.EXACT:
+        return value == fragment
+    if mode is MatchMode.PREFIX:
+        return value.startswith(fragment)
+    if mode is MatchMode.SUFFIX:
+        return value.endswith(fragment)
+    return fragment in value

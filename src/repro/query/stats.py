@@ -1,0 +1,45 @@
+"""Query execution counters.
+
+The whole point of LogGrep is to *not* decompress Capsules; these counters
+make that observable.  Benchmarks and the filtering-efficacy tests assert
+on them, and `LogGrep.grep` returns them with every result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class QueryStats:
+    """Counters accumulated while executing one query."""
+
+    capsules_considered: int = 0
+    capsules_filtered: int = 0  # proven irrelevant without decompression
+    capsules_decompressed: int = 0
+    bytes_decompressed: int = 0
+    candidates_evaluated: int = 0
+    fallback_scans: int = 0  # TOO_COMPLEX locator fallbacks
+    cache_hits: int = 0
+    blocks_visited: int = 0
+    blocks_pruned: int = 0  # skipped via block-level Bloom filters
+    entries_matched: int = 0
+
+    def merge(self, other: "QueryStats") -> None:
+        self.capsules_considered += other.capsules_considered
+        self.capsules_filtered += other.capsules_filtered
+        self.capsules_decompressed += other.capsules_decompressed
+        self.bytes_decompressed += other.bytes_decompressed
+        self.candidates_evaluated += other.candidates_evaluated
+        self.fallback_scans += other.fallback_scans
+        self.cache_hits += other.cache_hits
+        self.blocks_visited += other.blocks_visited
+        self.blocks_pruned += other.blocks_pruned
+        self.entries_matched += other.entries_matched
+
+
+def touch_capsule(capsule, stats: QueryStats) -> None:
+    """Record a decompression if *capsule* has not been opened yet."""
+    if capsule._plain is None:  # noqa: SLF001 - deliberate peek at the cache
+        stats.capsules_decompressed += 1
+        stats.bytes_decompressed += len(capsule.plain())

@@ -1,0 +1,479 @@
+"""Query-time views over encoded variable vectors.
+
+A reader answers two questions about one variable vector of one group:
+
+* ``search(fragment, mode)`` — which group rows could contain the
+  fragment?  (Locator → stamp filter → fixed-length matching.)
+* ``value_at(row)`` — the exact original value (for reconstruction).
+
+Readers translate between *capsule row space* (rows stored in a Capsule,
+excluding outliers) and *group row space* (entry rows of the group).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..capsule.assembler import (
+    NominalEncodedVector,
+    PlainEncodedVector,
+    RealEncodedVector,
+)
+from ..capsule.capsule import LAYOUT_FIXED, LAYOUT_REGION
+from ..capsule.stamp import CapsuleStamp
+from ..common.rowset import RowSet
+from ..common.textalgo import find_all
+from .locator import TOO_COMPLEX, locate
+from .matcher import search_capsule
+from .modes import MatchMode, value_matches
+from .stats import QueryStats, touch_capsule
+
+
+@dataclass
+class QuerySettings:
+    """Per-query execution switches (see §6.3 ablations)."""
+
+    use_stamps: bool = True
+    engine: str = "native"
+
+
+class RealVectorReader:
+    """Reader over a real variable vector (sub-variable Capsules)."""
+
+    def __init__(
+        self,
+        encoded: RealEncodedVector,
+        settings: QuerySettings,
+        stats: QueryStats,
+    ):
+        self.encoded = encoded
+        self.settings = settings
+        self.stats = stats
+        self.num_rows = encoded.num_rows
+        self._stamps: List[CapsuleStamp] = [
+            capsule.stamp for capsule in encoded.subvar_capsules
+        ]
+        self._outlier_set = set(encoded.outlier_rows)
+        self._matched_map: Optional[List[int]] = None  # capsule row → group row
+
+    # ------------------------------------------------------------------
+    def _matched_rows(self) -> List[int]:
+        if self._matched_map is None:
+            if not self._outlier_set:
+                self._matched_map = list(range(self.num_rows))
+            else:
+                self._matched_map = [
+                    row for row in range(self.num_rows) if row not in self._outlier_set
+                ]
+        return self._matched_map
+
+    @property
+    def _num_matched(self) -> int:
+        return self.num_rows - len(self.encoded.outlier_rows)
+
+    # ------------------------------------------------------------------
+    def search(self, fragment: str, mode: MatchMode) -> RowSet:
+        result = RowSet.empty(self.num_rows)
+        self._search_matched(fragment, mode, result)
+        self._search_outliers_plain(fragment, mode, result)
+        return result
+
+    def _search_matched(self, fragment: str, mode: MatchMode, result: RowSet) -> None:
+        num_matched = self._num_matched
+        if num_matched == 0:
+            return
+        encoded = self.encoded
+        candidates = locate(
+            encoded.pattern,
+            self._stamps,
+            fragment,
+            mode,
+            use_stamps=self.settings.use_stamps,
+        )
+        if candidates is TOO_COMPLEX:
+            self.stats.fallback_scans += 1
+            self._scan_matched(fragment, mode, result)
+            return
+        capsule_rows = RowSet.empty(num_matched)
+        for candidate in candidates:
+            self.stats.candidates_evaluated += 1
+            if not candidate:
+                capsule_rows = RowSet.full(num_matched)
+                break
+            current: Optional[RowSet] = None
+            for subvar, frag, frag_mode in candidate:
+                capsule = encoded.subvar_capsules[subvar]
+                self.stats.capsules_considered += 1
+                hint = None
+                if (
+                    current is not None
+                    and capsule.layout == LAYOUT_FIXED
+                    and len(current) <= 64
+                ):
+                    # §5.2 direct checking: probe only candidate rows.
+                    hint = current.rows()
+                touch_capsule(capsule, self.stats)
+                rows = search_capsule(
+                    capsule, frag, frag_mode, self.settings.engine, rows_hint=hint
+                )
+                current = rows if current is None else current & rows
+                if not current:
+                    break
+            if current:
+                capsule_rows = capsule_rows | current
+        if capsule_rows:
+            mapping = self._matched_rows()
+            for crow in capsule_rows:
+                result.add(mapping[crow])
+
+    def _scan_matched(self, fragment: str, mode: MatchMode, result: RowSet) -> None:
+        """Correct-but-slow fallback: reconstruct and test every value."""
+        encoded = self.encoded
+        for capsule in encoded.subvar_capsules:
+            touch_capsule(capsule, self.stats)
+        columns = [capsule.values() for capsule in encoded.subvar_capsules]
+        mapping = self._matched_rows()
+        for crow in range(self._num_matched):
+            value = encoded.pattern.render([col[crow] for col in columns])
+            if value_matches(value, fragment, mode):
+                result.add(mapping[crow])
+
+    def _search_outliers_plain(
+        self, fragment: str, mode: MatchMode, result: RowSet
+    ) -> None:
+        encoded = self.encoded
+        if encoded.outlier_capsule is None:
+            return
+        # Outliers escaped the pattern, so every query must scan them.
+        touch_capsule(encoded.outlier_capsule, self.stats)
+        rows = search_capsule(
+            encoded.outlier_capsule, fragment, mode, self.settings.engine
+        )
+        for orow in rows:
+            result.add(encoded.outlier_rows[orow])
+
+    # ------------------------------------------------------------------
+    def search_wildcard(self, keyword, mode: MatchMode) -> RowSet:
+        """Wildcard search: literal runs narrow the candidate rows through
+        the normal pattern/stamp machinery, then only those rows are
+        regex-verified — the structured analogue of index-assisted
+        wildcard matching."""
+        result = RowSet.empty(self.num_rows)
+        encoded = self.encoded
+        regex = keyword.regex_for(mode)
+        candidates = self._wildcard_candidates(keyword)
+        if candidates is None:
+            # No usable literal run: verify every matched row.
+            if self._num_matched:
+                mapping = self._matched_rows()
+                for crow, value in enumerate(self._matched_values()):
+                    if regex.search(value):
+                        result.add(mapping[crow])
+        elif candidates:
+            for row in candidates:
+                if regex.search(self.value_at(row)):
+                    result.add(row)
+        if encoded.outlier_capsule is not None:
+            touch_capsule(encoded.outlier_capsule, self.stats)
+            for orow, value in enumerate(encoded.outlier_capsule.values()):
+                if regex.search(value):
+                    result.add(encoded.outlier_rows[orow])
+        return result
+
+    def _wildcard_candidates(self, keyword) -> Optional[RowSet]:
+        """Rows that contain every (case-sensitive) literal run of the
+        keyword; None when no run is checkable."""
+        literals = [run for run in keyword.literals() if run] if not getattr(
+            keyword, "ignore_case", False
+        ) else []
+        if not literals:
+            return None
+        candidates: Optional[RowSet] = None
+        result_space = RowSet.empty(self.num_rows)
+        for run in literals:
+            rows = RowSet.empty(self.num_rows)
+            self._search_matched(run, MatchMode.SUBSTRING, rows)
+            candidates = rows if candidates is None else candidates & rows
+            if not candidates:
+                self.stats.capsules_filtered += len(
+                    self.encoded.subvar_capsules
+                )
+                return result_space
+        return candidates
+
+    def _matched_values(self) -> List[str]:
+        encoded = self.encoded
+        for capsule in encoded.subvar_capsules:
+            touch_capsule(capsule, self.stats)
+        columns = [capsule.values() for capsule in encoded.subvar_capsules]
+        render = encoded.pattern.render
+        if not columns:
+            return [render(())] * self._num_matched
+        return [render(parts) for parts in zip(*columns)]
+
+    # ------------------------------------------------------------------
+    def value_at(self, row: int) -> str:
+        encoded = self.encoded
+        if row in self._outlier_set:
+            pos = bisect_left(encoded.outlier_rows, row)
+            return encoded.outlier_capsule.value_at(pos)
+        crow = row - bisect_left(encoded.outlier_rows, row)
+        subvalues = [
+            capsule.value_at(crow) for capsule in encoded.subvar_capsules
+        ]
+        return encoded.pattern.render(subvalues)
+
+    def values_list(self) -> List[str]:
+        """Every value of the vector, decoded in bulk.
+
+        Reconstruction of many rows amortizes one ``values()`` pass per
+        Capsule instead of per-row fetches.
+        """
+        encoded = self.encoded
+        for capsule in encoded.subvar_capsules:
+            touch_capsule(capsule, self.stats)
+        columns = [capsule.values() for capsule in encoded.subvar_capsules]
+        render = encoded.pattern.render
+        matched = iter(zip(*columns)) if columns else iter(())
+        if not self._outlier_set:
+            if not columns:
+                constant = render(())
+                return [constant] * self.num_rows
+            return [render(parts) for parts in matched]
+        outliers = encoded.outlier_capsule.values()
+        out: List[str] = []
+        opos = 0
+        for row in range(self.num_rows):
+            if row in self._outlier_set:
+                out.append(outliers[opos])
+                opos += 1
+            elif columns:
+                out.append(render(next(matched)))
+            else:
+                out.append(render(()))
+        return out
+
+
+class NominalVectorReader:
+    """Reader over a nominal variable vector (dictionary + index)."""
+
+    def __init__(
+        self,
+        encoded: NominalEncodedVector,
+        settings: QuerySettings,
+        stats: QueryStats,
+    ):
+        self.encoded = encoded
+        self.settings = settings
+        self.stats = stats
+        self.num_rows = encoded.num_rows
+        self._region_slots: List[int] = []  # first slot of each pattern region
+        slot = 0
+        for dp in encoded.dict_patterns:
+            self._region_slots.append(slot)
+            slot += dp.count
+        self._dict_cache: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    def _pattern_stamps(self, dp) -> List[CapsuleStamp]:
+        return [
+            CapsuleStamp(mask, maxlen)
+            for mask, maxlen in zip(dp.subvar_masks, dp.subvar_maxlens)
+        ]
+
+    def _dict_values(self) -> List[str]:
+        if self._dict_cache is None:
+            encoded = self.encoded
+            touch_capsule(encoded.dict_capsule, self.stats)
+            if encoded.dict_capsule.layout == LAYOUT_REGION:
+                values: List[str] = []
+                byte = 0
+                for dp in encoded.dict_patterns:
+                    for _ in range(dp.count):
+                        values.append(
+                            encoded.dict_capsule.region_value(byte, dp.width)
+                        )
+                        byte += dp.width
+                self._dict_cache = values
+            else:
+                self._dict_cache = encoded.dict_capsule.values()
+        return self._dict_cache
+
+    def _region_values(self, pattern_idx: int) -> List[str]:
+        """Values of one pattern's region — a direct Σ count·width jump."""
+        encoded = self.encoded
+        dp = encoded.dict_patterns[pattern_idx]
+        if encoded.dict_capsule.layout != LAYOUT_REGION:
+            start = self._region_slots[pattern_idx]
+            return self._dict_values()[start : start + dp.count]
+        touch_capsule(encoded.dict_capsule, self.stats)
+        byte = encoded.region_start_byte(pattern_idx)
+        out = []
+        for _ in range(dp.count):
+            out.append(encoded.dict_capsule.region_value(byte, dp.width))
+            byte += dp.width
+        return out
+
+    # ------------------------------------------------------------------
+    def matching_slots(self, fragment: str, mode: MatchMode) -> List[int]:
+        """Dictionary slots whose value matches the fragment."""
+        encoded = self.encoded
+        slots: List[int] = []
+        for pattern_idx, dp in enumerate(encoded.dict_patterns):
+            candidates = locate(
+                dp.pattern,
+                self._pattern_stamps(dp),
+                fragment,
+                mode,
+                use_stamps=self.settings.use_stamps,
+            )
+            if candidates is not TOO_COMPLEX and not candidates:
+                self.stats.capsules_filtered += 1
+                continue  # the pattern cannot produce the fragment
+            base = self._region_slots[pattern_idx]
+            for local, value in enumerate(self._region_values(pattern_idx)):
+                if value_matches(value, fragment, mode):
+                    slots.append(base + local)
+        return slots
+
+    def search(self, fragment: str, mode: MatchMode) -> RowSet:
+        slots = self.matching_slots(fragment, mode)
+        return self._rows_for_slots(slots)
+
+    def search_wildcard(self, keyword, mode: MatchMode) -> RowSet:
+        regex = keyword.regex_for(mode)
+        slots = [
+            slot
+            for slot, value in enumerate(self._dict_values())
+            if regex.search(value)
+        ]
+        return self._rows_for_slots(slots)
+
+    def _rows_for_slots(self, slots: Sequence[int]) -> RowSet:
+        encoded = self.encoded
+        result = RowSet.empty(self.num_rows)
+        if not slots:
+            # The index Capsule is never decompressed — the dictionary
+            # proved the keyword absent (§5.1).
+            self.stats.capsules_filtered += 1
+            return result
+        touch_capsule(encoded.index_capsule, self.stats)
+        width = encoded.index_width
+        capsule = encoded.index_capsule
+        if capsule.layout == LAYOUT_FIXED and width > 0:
+            buf = capsule.plain()
+            if len(slots) <= 4:
+                # Selective dictionary hit: search each index number (§5.1).
+                for slot in slots:
+                    target = str(slot).zfill(width).encode("utf-8")
+                    for pos in find_all(buf, target, self.settings.engine):
+                        if pos % width == 0:
+                            result.add(pos // width)
+            else:
+                # Unselective keyword: one row-wise membership pass beats
+                # a separate scan per matching dictionary entry.
+                targets = {
+                    str(slot).zfill(width).encode("utf-8") for slot in slots
+                }
+                for row in range(self.num_rows):
+                    if buf[row * width : (row + 1) * width] in targets:
+                        result.add(row)
+        else:
+            wanted = set(slots)
+            for row, text in enumerate(capsule.values()):
+                if int(text) in wanted:
+                    result.add(row)
+        return result
+
+    # ------------------------------------------------------------------
+    def value_at(self, row: int) -> str:
+        encoded = self.encoded
+        touch_capsule(encoded.index_capsule, self.stats)
+        slot = int(encoded.index_capsule.value_at(row))
+        return self._dict_values()[slot]
+
+    def values_list(self) -> List[str]:
+        """Bulk decode: one dictionary pass + one index pass."""
+        encoded = self.encoded
+        touch_capsule(encoded.index_capsule, self.stats)
+        dictionary = self._dict_values()
+        return [
+            dictionary[int(text)] for text in encoded.index_capsule.values()
+        ]
+
+
+class PlainVectorReader:
+    """Reader over a whole-vector Capsule (§2.2's first attempt)."""
+
+    def __init__(
+        self,
+        encoded: PlainEncodedVector,
+        settings: QuerySettings,
+        stats: QueryStats,
+    ):
+        self.encoded = encoded
+        self.settings = settings
+        self.stats = stats
+        self.num_rows = encoded.num_rows
+
+    def search(self, fragment: str, mode: MatchMode) -> RowSet:
+        capsule = self.encoded.capsule
+        self.stats.capsules_considered += 1
+        if self.settings.use_stamps and not capsule.stamp.admits(fragment):
+            self.stats.capsules_filtered += 1
+            return RowSet.empty(self.num_rows)
+        touch_capsule(capsule, self.stats)
+        return search_capsule(capsule, fragment, mode, self.settings.engine)
+
+    def search_wildcard(self, keyword, mode: MatchMode) -> RowSet:
+        capsule = self.encoded.capsule
+        regex = keyword.regex_for(mode)
+        result = RowSet.empty(self.num_rows)
+        literals = (
+            [run for run in keyword.literals() if run]
+            if not keyword.ignore_case
+            else []
+        )
+        if literals and self.settings.use_stamps:
+            if any(not capsule.stamp.admits(run) for run in literals):
+                self.stats.capsules_filtered += 1
+                return result
+        touch_capsule(capsule, self.stats)
+        if literals:
+            # Narrow with the literal runs, verify only candidate rows.
+            candidates: Optional[RowSet] = None
+            for run in literals:
+                rows = search_capsule(
+                    capsule, run, MatchMode.SUBSTRING, self.settings.engine
+                )
+                candidates = rows if candidates is None else candidates & rows
+                if not candidates:
+                    return result
+            for row in candidates:
+                if regex.search(capsule.value_at(row)):
+                    result.add(row)
+            return result
+        for row, value in enumerate(capsule.values()):
+            if regex.search(value):
+                result.add(row)
+        return result
+
+    def value_at(self, row: int) -> str:
+        return self.encoded.capsule.value_at(row)
+
+    def values_list(self) -> List[str]:
+        touch_capsule(self.encoded.capsule, self.stats)
+        return self.encoded.capsule.values()
+
+
+def make_reader(encoded, settings: QuerySettings, stats: QueryStats):
+    """Reader factory over the three encodings."""
+    if isinstance(encoded, RealEncodedVector):
+        return RealVectorReader(encoded, settings, stats)
+    if isinstance(encoded, NominalEncodedVector):
+        return NominalVectorReader(encoded, settings, stats)
+    if isinstance(encoded, PlainEncodedVector):
+        return PlainVectorReader(encoded, settings, stats)
+    raise TypeError(f"unknown encoded vector {type(encoded)!r}")

@@ -1,0 +1,30 @@
+"""Runtime-pattern extraction: the paper's core contribution (§4)."""
+
+from .classify import (
+    DEFAULT_DUPLICATION_THRESHOLD,
+    VectorKind,
+    classify,
+    classify_with_rate,
+    duplication_rate,
+)
+from .merge import DictPattern, NominalEncoding, extract_nominal, sketch_of
+from .pattern import Const, RuntimePattern, SubVar, pattern_from_fragments
+from .treeexpand import TreeExpandConfig, extract_real_pattern
+
+__all__ = [
+    "VectorKind",
+    "classify",
+    "classify_with_rate",
+    "duplication_rate",
+    "DEFAULT_DUPLICATION_THRESHOLD",
+    "RuntimePattern",
+    "Const",
+    "SubVar",
+    "pattern_from_fragments",
+    "TreeExpandConfig",
+    "extract_real_pattern",
+    "DictPattern",
+    "NominalEncoding",
+    "extract_nominal",
+    "sketch_of",
+]

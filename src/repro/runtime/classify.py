@@ -1,0 +1,54 @@
+"""Variable-vector categorization (paper §4.1, Fig 3).
+
+The extractor must decide whether a vector is dominated by a single runtime
+pattern (block numbers, timestamps, request ids — values rarely repeat) or
+may hold several patterns (file paths, error codes — values repeat a lot).
+The paper's heuristic is the **duplication rate**
+``(total - unique) / total``: vectors below the threshold are *real*
+(single-pattern, tree expanding), vectors at or above it are *nominal*
+(multi-pattern, pattern merging).  Fig 3's bathtub shape makes the exact
+threshold uncritical; the paper picks 0.5.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence, Tuple
+
+#: The paper's threshold separating real from nominal vectors.
+DEFAULT_DUPLICATION_THRESHOLD = 0.5
+
+
+class VectorKind(enum.Enum):
+    """How a variable vector will be structurized."""
+
+    REAL = "real"  # low duplication → tree expanding (§4.1, Fig 4)
+    NOMINAL = "nominal"  # high duplication → pattern merging (§4.1, Fig 5)
+
+
+def duplication_rate(values: Sequence[str]) -> float:
+    """``(total_count - unique_count) / total_count``; 0.0 for empty input."""
+    total = len(values)
+    if total == 0:
+        return 0.0
+    return (total - len(set(values))) / total
+
+
+def classify(
+    values: Sequence[str],
+    threshold: float = DEFAULT_DUPLICATION_THRESHOLD,
+) -> VectorKind:
+    """Apply the duplication-rate heuristic to one variable vector."""
+    if duplication_rate(values) < threshold:
+        return VectorKind.REAL
+    return VectorKind.NOMINAL
+
+
+def classify_with_rate(
+    values: Sequence[str],
+    threshold: float = DEFAULT_DUPLICATION_THRESHOLD,
+) -> Tuple[VectorKind, float]:
+    """Like :func:`classify` but also returns the measured rate."""
+    rate = duplication_rate(values)
+    kind = VectorKind.REAL if rate < threshold else VectorKind.NOMINAL
+    return kind, rate

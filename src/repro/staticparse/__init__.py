@@ -1,0 +1,16 @@
+"""Static-pattern substrate: templates, the sampling miner and the block
+parser that produces groups of variable vectors."""
+
+from .miner import TemplateMiner, mine_templates
+from .parser import BlockParser, Group, ParsedBlock
+from .template import VAR_MARK, Template
+
+__all__ = [
+    "Template",
+    "VAR_MARK",
+    "TemplateMiner",
+    "mine_templates",
+    "BlockParser",
+    "Group",
+    "ParsedBlock",
+]

@@ -1,0 +1,122 @@
+"""Sampling template miner.
+
+LogGrep identifies static patterns on a 5% sample of each block's entries
+using the parser adopted from LogReducer (paper §3).  We implement the same
+observable behaviour with a Drain-style fixed-depth clustering: lines are
+bucketed by token count and greedily merged into prototypes when their
+token-sequence similarity passes a threshold; positions that disagree
+become variable slots.
+
+Mining accuracy affects only how much content lands in variables (and hence
+compression/query performance) — never correctness, because variable slots
+store the exact token text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..common.sampling import DEFAULT_SAMPLE_RATE, sample
+from ..common.tokenizer import tokenize
+from .template import Template
+
+#: Drain's default sequence-similarity threshold.
+DEFAULT_SIMILARITY = 0.6
+
+
+_DIGIT_MASK = str.maketrans("0123456789", "##########")
+
+
+def _has_digit(token: str) -> bool:
+    return any(ch.isdigit() for ch in token)
+
+
+def _masked(token: str) -> str:
+    """Token with every digit replaced — Drain's preprocessing prior:
+    digits are almost always run-time variables."""
+    return token.translate(_DIGIT_MASK)
+
+
+@dataclass
+class _Prototype:
+    """A mutable template under construction."""
+
+    tokens: List[Optional[str]]
+
+    def similarity(self, tokens: Sequence[str]) -> float:
+        """Fraction of positions agreeing with *tokens*.
+
+        An already-variable position counts half (it can absorb anything
+        but agreeing on actual constants should win ties).  Disagreeing
+        tokens are compared digit-masked: same shape (``T134`` vs ``T176``)
+        counts as a full match, and any remaining digit-bearing mismatch
+        still counts half — the same prior the Drain parser encodes with
+        its digit-masking preprocessing.
+        """
+        if not self.tokens:
+            return 1.0 if not tokens else 0.0
+        score = 0.0
+        for mine, theirs in zip(self.tokens, tokens):
+            if mine is None:
+                score += 0.5
+            elif mine == theirs:
+                score += 1.0
+            elif _has_digit(theirs) or _has_digit(mine):
+                if _masked(mine) == _masked(theirs):
+                    score += 1.0
+                else:
+                    score += 0.5
+        return score / len(self.tokens)
+
+    def absorb(self, tokens: Sequence[str]) -> None:
+        """Merge *tokens* in: disagreeing constants become variables."""
+        for i, (mine, theirs) in enumerate(zip(self.tokens, tokens)):
+            if mine is not None and mine != theirs:
+                self.tokens[i] = None
+
+
+class TemplateMiner:
+    """Greedy prototype clustering bucketed by token count."""
+
+    def __init__(self, similarity: float = DEFAULT_SIMILARITY):
+        if not 0.0 < similarity <= 1.0:
+            raise ValueError("similarity threshold must be in (0, 1]")
+        self.similarity = similarity
+        self._buckets: Dict[int, List[_Prototype]] = {}
+
+    def observe(self, tokens: Sequence[str]) -> None:
+        bucket = self._buckets.setdefault(len(tokens), [])
+        best: Optional[_Prototype] = None
+        best_score = 0.0
+        for proto in bucket:
+            score = proto.similarity(tokens)
+            if score > best_score:
+                best, best_score = proto, score
+        if best is not None and best_score >= self.similarity:
+            best.absorb(tokens)
+        else:
+            bucket.append(_Prototype(list(tokens)))
+
+    def templates(self, first_id: int = 0) -> List[Template]:
+        """Freeze the prototypes into immutable templates."""
+        out: List[Template] = []
+        next_id = first_id
+        for count in sorted(self._buckets):
+            for proto in self._buckets[count]:
+                out.append(Template(next_id, list(proto.tokens)))
+                next_id += 1
+        return out
+
+
+def mine_templates(
+    lines: Sequence[str],
+    sample_rate: float = DEFAULT_SAMPLE_RATE,
+    seed: int = 0,
+    similarity: float = DEFAULT_SIMILARITY,
+) -> List[Template]:
+    """Mine static patterns from a sample of *lines* (the paper's Parser)."""
+    miner = TemplateMiner(similarity)
+    for line in sample(lines, sample_rate, seed):
+        miner.observe(tokenize(line))
+    return miner.templates()

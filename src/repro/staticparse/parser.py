@@ -1,0 +1,179 @@
+"""Block parser: raw lines → groups of variable vectors.
+
+After templates are mined on a sample (:mod:`repro.staticparse.miner`), the
+parser assigns *every* line of the block to a template and collects, per
+template, the values of each variable slot into a **variable vector** — the
+fine-grained partition the whole LogGrep design is built on (paper §2.2).
+All variable vectors of the same static pattern form a **group**; a group
+also remembers each entry's global line id so reconstruction can restore
+the total order across groups (the paper merges on timestamps; line ids
+give the identical order).
+
+Lines that match no mined template are mined in a second pass, so parsing
+always covers 100% of the block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..common.sampling import DEFAULT_SAMPLE_RATE, sample
+from ..common.tokenizer import tokenize
+from .miner import DEFAULT_SIMILARITY, TemplateMiner
+from .template import Template
+
+
+@dataclass
+class Group:
+    """All entries of one static pattern within a block.
+
+    ``variable_vectors[k][r]`` is the value of variable slot ``k`` in the
+    group's ``r``-th entry; ``line_ids[r]`` is that entry's index within the
+    block (0-based), which doubles as the logical timestamp.
+    """
+
+    template: Template
+    line_ids: List[int] = field(default_factory=list)
+    variable_vectors: List[List[str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.variable_vectors:
+            self.variable_vectors = [[] for _ in range(self.template.num_variables)]
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.line_ids)
+
+    def append(self, line_id: int, values: Sequence[str]) -> None:
+        self.line_ids.append(line_id)
+        for vector, value in zip(self.variable_vectors, values):
+            vector.append(value)
+
+    def render_entry(self, row: int) -> str:
+        """Rebuild the original text of the group's *row*-th entry."""
+        values = [vector[row] for vector in self.variable_vectors]
+        return self.template.render(values)
+
+
+@dataclass
+class ParsedBlock:
+    """The result of parsing one log block."""
+
+    templates: List[Template]
+    groups: List[Group]
+    num_lines: int
+
+    def group_for(self, template_id: int) -> Group:
+        for group in self.groups:
+            if group.template.template_id == template_id:
+                return group
+        raise KeyError(f"no group for template {template_id}")
+
+    def all_variable_vectors(self) -> List[List[str]]:
+        out: List[List[str]] = []
+        for group in self.groups:
+            out.extend(group.variable_vectors)
+        return out
+
+
+class BlockParser:
+    """Two-pass parser: sample-mined templates, then full assignment.
+
+    ``miner`` selects the template-mining family: ``"drain"`` (the
+    default, Drain-style similarity clustering — LogReducer's behaviour)
+    or ``"slct"`` (SLCT-style frequent-token mining).  Parser choice only
+    shifts compression/query performance; reconstruction stays exact.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = DEFAULT_SAMPLE_RATE,
+        similarity: float = DEFAULT_SIMILARITY,
+        seed: int = 0,
+        miner: str = "drain",
+    ):
+        if miner not in ("drain", "slct"):
+            raise ValueError(f"unknown miner {miner!r}; pick 'drain' or 'slct'")
+        self.sample_rate = sample_rate
+        self.similarity = similarity
+        self.seed = seed
+        self.miner = miner
+
+    def _make_miner(self):
+        if self.miner == "slct":
+            from .slct import SlctMiner
+
+            return SlctMiner()
+        return TemplateMiner(self.similarity)
+
+    def parse(self, lines: Sequence[str]) -> ParsedBlock:
+        """Parse every line of a block into groups."""
+        token_lines = [tokenize(line) for line in lines]
+
+        miner = self._make_miner()
+        for tokens in sample(token_lines, self.sample_rate, self.seed):
+            miner.observe(tokens)
+        templates = miner.templates()
+
+        by_count: Dict[int, List[Template]] = {}
+        for template in templates:
+            by_count.setdefault(template.num_tokens, []).append(template)
+
+        assignments: List[int] = [-1] * len(token_lines)
+        unmatched: List[int] = []
+        for line_id, tokens in enumerate(token_lines):
+            template = _best_match(by_count.get(len(tokens), ()), tokens)
+            if template is None:
+                unmatched.append(line_id)
+            else:
+                assignments[line_id] = template.template_id
+
+        if unmatched:
+            # The sample missed these shapes entirely: mine them separately.
+            extra_miner = self._make_miner()
+            for line_id in unmatched:
+                extra_miner.observe(token_lines[line_id])
+            extras = extra_miner.templates(first_id=len(templates))
+            for template in extras:
+                by_count.setdefault(template.num_tokens, []).append(template)
+            templates.extend(extras)
+            still: List[int] = []
+            for line_id in unmatched:
+                tokens = token_lines[line_id]
+                template = _best_match(by_count.get(len(tokens), ()), tokens)
+                if template is None:
+                    still.append(line_id)
+                else:
+                    assignments[line_id] = template.template_id
+            for line_id in still:
+                # Last resort: an all-variable template of the right width.
+                tokens = token_lines[line_id]
+                catch_all = Template(len(templates), [None] * len(tokens))
+                templates.append(catch_all)
+                by_count.setdefault(catch_all.num_tokens, []).append(catch_all)
+                assignments[line_id] = catch_all.template_id
+
+        groups: Dict[int, Group] = {}
+        for line_id, tokens in enumerate(token_lines):
+            template = templates[assignments[line_id]]
+            group = groups.get(template.template_id)
+            if group is None:
+                group = Group(template)
+                groups[template.template_id] = group
+            group.append(line_id, template.extract(tokens))
+
+        ordered = [groups[tid] for tid in sorted(groups)]
+        used_templates = [group.template for group in ordered]
+        return ParsedBlock(used_templates, ordered, len(lines))
+
+
+def _best_match(candidates: Sequence[Template], tokens: Sequence[str]):
+    """The matching template with the most constant tokens, if any."""
+    best = None
+    best_score = -1
+    for template in candidates:
+        score = template.match_score(tokens)
+        if score > best_score:
+            best, best_score = template, score
+    return best if best_score >= 0 else None

@@ -1,0 +1,65 @@
+"""SLCT-style frequent-token template miner (alternative Parser).
+
+The LogGrep paper's Parser comes from LogReducer; the log-parsing
+literature it cites (§7) also contains frequent-pattern miners like SLCT
+and LogCluster (Vaarandi): a token position belongs to the template when
+its (position, token) pair is *frequent*, otherwise it is a variable.
+This module implements that family as a drop-in alternative to the
+Drain-style miner — `BlockParser(miner="slct")` selects it — which lets
+the repo measure how parser choice shifts compression and query behaviour
+(parsing accuracy only ever affects performance, never correctness).
+
+Algorithm (two passes over the sample):
+
+1. count (token-count, position, token) occurrences;
+2. a line's template keeps tokens whose count is at least
+   ``support_fraction`` of its token-count bucket's line total; the rest
+   become variable slots.  Lines then dedupe into templates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .template import Template
+
+#: A (position, token) pair is "static" when it appears in at least this
+#: fraction of the bucket's lines (SLCT's support threshold).
+DEFAULT_SUPPORT = 0.05
+
+
+class SlctMiner:
+    """Frequent-token template mining (SLCT/LogCluster family)."""
+
+    def __init__(self, support_fraction: float = DEFAULT_SUPPORT):
+        if not 0.0 < support_fraction <= 1.0:
+            raise ValueError("support fraction must be in (0, 1]")
+        self.support_fraction = support_fraction
+        self._lines_per_bucket: Dict[int, int] = {}
+        self._counts: Dict[Tuple[int, int, str], int] = {}
+        self._observed: List[Sequence[str]] = []
+
+    def observe(self, tokens: Sequence[str]) -> None:
+        width = len(tokens)
+        self._lines_per_bucket[width] = self._lines_per_bucket.get(width, 0) + 1
+        for position, token in enumerate(tokens):
+            key = (width, position, token)
+            self._counts[key] = self._counts.get(key, 0) + 1
+        self._observed.append(tokens)
+
+    def templates(self, first_id: int = 0) -> List[Template]:
+        seen: Dict[Tuple[Optional[str], ...], None] = {}
+        for tokens in self._observed:
+            width = len(tokens)
+            threshold = max(2.0, self.support_fraction * self._lines_per_bucket[width])
+            skeleton = tuple(
+                token
+                if self._counts[(width, position, token)] >= threshold
+                else None
+                for position, token in enumerate(tokens)
+            )
+            seen.setdefault(skeleton, None)
+        out: List[Template] = []
+        for index, skeleton in enumerate(seen):
+            out.append(Template(first_id + index, list(skeleton)))
+        return out

@@ -1,0 +1,71 @@
+"""Loading real log files as workloads.
+
+The synthetic specs stand in for the paper's datasets, but the library is
+meant for *your* logs: this module wraps plain text files in the same
+:class:`~repro.workloads.spec.LogSpec`-like interface the bench harness
+uses, so a downstream user can run the full evaluation (latency, ratio,
+cost, ablations) on their own data with one call::
+
+    spec = FileLogSpec.from_path("/var/log/app.log", query="ERROR")
+    measurements = run_suite([spec])
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class FileLogSpec:
+    """A dataset backed by a log file on disk.
+
+    Duck-types the parts of :class:`~repro.workloads.spec.LogSpec` the
+    bench harness touches: ``name``, ``query``, ``size_factor``,
+    ``description`` and ``generate``.
+    """
+
+    name: str
+    path: str
+    query: str
+    description: str = ""
+    size_factor: float = 1.0
+    encoding: str = "utf-8"
+    _cache: Optional[List[str]] = field(default=None, repr=False)
+
+    @classmethod
+    def from_path(
+        cls, path: str, query: str, name: Optional[str] = None
+    ) -> "FileLogSpec":
+        if not os.path.exists(path):
+            raise FileNotFoundError(path)
+        return cls(
+            name=name or os.path.basename(path),
+            path=path,
+            query=query,
+            description=f"log file {path}",
+        )
+
+    def _lines(self) -> List[str]:
+        if self._cache is None:
+            with open(self.path, "r", encoding=self.encoding, errors="replace") as fh:
+                text = fh.read()
+            lines = text.split("\n")
+            if lines and lines[-1] == "":
+                lines.pop()
+            # NUL bytes cannot be stored in Capsules; strip defensively.
+            self._cache = [line.replace("\x00", "") for line in lines]
+        return self._cache
+
+    def generate(self, num_lines: int) -> List[str]:
+        """The first ``num_lines * size_factor`` lines of the file.
+
+        Mirrors the synthetic specs' contract; pass a large number (or
+        ``len(spec)``) to use the whole file.
+        """
+        want = max(1, int(num_lines * self.size_factor))
+        return self._lines()[:want]
+
+    def __len__(self) -> int:
+        return len(self._lines())

@@ -1,0 +1,633 @@
+"""The 21 Alibaba-Cloud-style production log types (Logs A-U).
+
+The real logs are proprietary; each spec here is synthesized to exhibit
+the structure the paper describes for its anonymized counterpart and to
+make the corresponding Table 1 query meaningful:
+
+* hex ids with shared prefixes, counters and timestamps → *real* vectors
+  with strong runtime patterns;
+* states, error codes, module names → *nominal* vectors;
+* a rare **incident template** per log plants the exact co-occurring
+  values Table 1 greps for (debugging queries target one incident, so the
+  conditions correlate rather than being independent coin flips), while
+  ``Sometimes`` fields sprinkle near-miss values elsewhere as filter noise;
+* Log T is the volume outlier (964 GB in the paper) via ``size_factor``;
+* Log U's variables are deliberately pattern-poor — the paper's noted
+  exception where runtime patterns cannot help.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .fields import (
+    Choice,
+    Compose,
+    Counter,
+    Enum,
+    HexId,
+    IPv4,
+    Number,
+    Path,
+    PrefixedId,
+    Sometimes,
+    TimeHMS,
+    Timestamp,
+    Word,
+)
+from .spec import LogSpec, TemplateSpec
+
+#: Weight of the planted incident template relative to ~10 units of
+#: background traffic (≈0.5% of lines).
+INCIDENT = 0.05
+
+
+def _level(err_weight: int = 1) -> Enum:
+    return Enum(
+        ["INFO", "INFO", "WARNING", "ERROR"], [70, 20, 10 - err_weight, err_weight]
+    )
+
+
+def production_specs() -> List[LogSpec]:
+    """Build the full Log A..U suite."""
+    return [
+        _log_a(),
+        _log_b(),
+        _log_c(),
+        _log_d(),
+        _log_e(),
+        _log_f(),
+        _log_g(),
+        _log_h(),
+        _log_i(),
+        _log_j(),
+        _log_k(),
+        _log_l(),
+        _log_m(),
+        _log_n(),
+        _log_o(),
+        _log_p(),
+        _log_q(),
+        _log_r(),
+        _log_s(),
+        _log_t(),
+        _log_u(),
+    ]
+
+
+# ----------------------------------------------------------------------
+def _log_a() -> LogSpec:
+    ts = Timestamp(date="2020-06-11")
+    state = Enum(
+        ["REQ_ST_OPEN", "REQ_ST_ACTIVE", "REQ_ST_CLOSED", "REQ_ST_ABORT"],
+        [4, 4, 3, 1],
+    )
+    return LogSpec(
+        name="Log A",
+        description="request state machine of a storage frontend",
+        templates=[
+            TemplateSpec(
+                6,
+                "{} {} request state:{} code:{} reqId:{}",
+                [ts, _level(), state, Number(20000, 20100),
+                 Sometimes("5E9D21AD5E473938", HexId(16, shared_prefix_len=4), p=0.002)],
+            ),
+            TemplateSpec(
+                4,
+                "{} INFO accept conn from {} reqId:{}",
+                [ts, IPv4("11.193", port=True), HexId(16)],
+            ),
+            TemplateSpec(
+                INCIDENT,
+                "{} ERROR request state:REQ_ST_CLOSED code:20012 reqId:5E9D21AD5E473938",
+                [ts],
+            ),
+        ],
+        query="ERROR and state:REQ_ST_CLOSED and 20012 and reqId:5E9D21AD5E473938",
+    )
+
+
+def _log_b() -> LogSpec:
+    ts = Timestamp(date="2020-04-27")
+    return LogSpec(
+        name="Log B",
+        description="multi-tenant ingestion service audit log",
+        templates=[
+            TemplateSpec(
+                7,
+                "{} {} Project:{} RequestId:{} latency:{}us",
+                [ts, _level(2), Sometimes("2963", Number(1000, 5000), p=0.01),
+                 HexId(15, shared_prefix_len=3), Number(40, 90000)],
+            ),
+            TemplateSpec(
+                3,
+                "{} INFO Project:{} quota check pass shard:{}",
+                [ts, Number(1000, 5000), Number(0, 128)],
+            ),
+            TemplateSpec(
+                INCIDENT,
+                "{} ERROR Project:2963 RequestId:5EA6F82FDF142E2 latency:{}us",
+                [ts, Number(400000, 900000)],
+            ),
+        ],
+        query="ERROR and Project:2963 and RequestId:5EA6F82FDF142E2",
+    )
+
+
+def _log_c() -> LogSpec:
+    ts = Timestamp(date="2021-02-02")
+    return LogSpec(
+        name="Log C",
+        description="control-plane scheduler log, queried by level only",
+        templates=[
+            TemplateSpec(
+                8,
+                "{} {} schedule job {} on worker-{} queue={} bin={}",
+                [ts, _level(), PrefixedId("job_", 8), Number(0, 400), Word(),
+                 Path(root="/apsara/bin", stems=("sched", "meta"), ext="", ids=30)],
+            ),
+            TemplateSpec(
+                2,
+                "{} {} rebalance group {} moved={}",
+                [ts, _level(), HexId(8), Number(0, 64)],
+            ),
+        ],
+        query="ERROR",
+    )
+
+
+def _log_d() -> LogSpec:
+    ts = Timestamp(date="2020-11-19")
+    logstore = Enum(["res_p", "res_q", "acc_log", "ops_log"], [2, 3, 3, 2])
+    return LogSpec(
+        name="Log D",
+        description="per-logstore traffic meter",
+        templates=[
+            TemplateSpec(
+                9,
+                "{} INFO project_id:{} logstore:{} inflow:{} outflow:{}",
+                [ts, Sometimes("30935", Number(10000, 60000), p=0.01), logstore,
+                 Number(0, 900), Number(0, 900)],
+            ),
+            TemplateSpec(
+                1,
+                "{} WARNING project_id:{} logstore:{} throttled",
+                [ts, Number(10000, 60000), logstore],
+            ),
+            TemplateSpec(
+                INCIDENT,
+                "{} INFO project_id:30935 logstore:res_p inflow:5 outflow:{}",
+                [ts, Number(0, 900)],
+            ),
+        ],
+        query="project_id:30935 and logstore:res_p and inflow:5",
+    )
+
+
+def _log_e() -> LogSpec:
+    ts = Timestamp(date="2021-05-30")
+    logstore = Compose(Choice(["dash", "user", "flow", "stat"]), "_ay87a")
+    return LogSpec(
+        name="Log E",
+        description="sharded store heartbeat (wildcarded logstore in query)",
+        templates=[
+            TemplateSpec(
+                9,
+                "{} INFO project:{} logstore:{} shard:{} wcount:{} rcount:{}",
+                [ts, Number(100, 400), logstore, Number(0, 128), Number(0, 40),
+                 Number(0, 40)],
+            ),
+            TemplateSpec(
+                1,
+                "{} INFO project:{} shard:{} split begin",
+                [ts, Number(100, 400), Number(0, 128)],
+            ),
+            TemplateSpec(
+                INCIDENT,
+                "{} INFO project:161 logstore:{} shard:99 wcount:10 rcount:{}",
+                [ts, logstore, Number(0, 40)],
+            ),
+        ],
+        query="project:161 and logstore:????_ay87a and shard:99 and wcount:10",
+    )
+
+
+def _log_f() -> LogSpec:
+    ts = Timestamp(date="2020-08-14")
+    user = Enum(["-2", "100234", "100891", "204417", "330019"], [4, 2, 2, 1, 1])
+    return LogSpec(
+        name="Log F",
+        description="API gateway log; query excludes the anonymous user",
+        templates=[
+            TemplateSpec(
+                8,
+                "{} {} UserId:{} api:{} status:{}",
+                [ts, _level(2), user,
+                 Choice(["/v1/put", "/v1/get", "/v1/list", "/v1/del"]),
+                 Enum(["200", "200", "200", "403", "500"], [70, 10, 10, 5, 5])],
+            ),
+            TemplateSpec(
+                0.4,
+                "{} ERROR UserId:{} quota exceeded limit:{}",
+                [ts, user, Number(100, 10000)],
+            ),
+        ],
+        query="ERROR not UserId:-2",
+    )
+
+
+def _log_g() -> LogSpec:
+    ts = Timestamp(date="2020-09-01")
+    return LogSpec(
+        name="Log G",
+        description="chunk server I/O trace (subnet-patterned sources)",
+        templates=[
+            TemplateSpec(
+                6,
+                "{} INFO Operation:{} SATADiskId:{} From:tcp://{} TraceId:{}",
+                [ts, Enum(["ReadChunk", "WriteChunk", "SealChunk"], [5, 4, 1]),
+                 Number(0, 24), IPv4("10.143", port=True),
+                 HexId(32, shared_prefix_len=0)],
+            ),
+            TemplateSpec(
+                3,
+                "{} INFO Operation:GC chunk {} freed:{}KB",
+                [ts, PrefixedId("chunk_", 12), Number(4, 4096)],
+            ),
+            TemplateSpec(
+                INCIDENT,
+                "{} INFO Operation:ReadChunk SATADiskId:7 From:tcp://{} "
+                "TraceId:3615b60b169820bf160d4acd7b8b8732",
+                [ts, IPv4("10.143", port=True)],
+            ),
+        ],
+        query=(
+            "Operation:ReadChunk and SATADiskId:7 and From:tcp://10.1??.* "
+            "and TraceId:3615b60b169820bf160d4acd7b8b8732"
+        ),
+    )
+
+
+def _log_h() -> LogSpec:
+    ts = Timestamp(date="2021-01-12")
+    return LogSpec(
+        name="Log H",
+        description="replication pipeline log",
+        templates=[
+            TemplateSpec(
+                7,
+                "{} {} replicate {} of {} to {} bytes:{}",
+                [ts, _level(), PrefixedId("seg_", 9),
+                 Path(root="/mnt/disk1/pangu", stems=("normal", "rs", "ec"), ids=50),
+                 IPv4("11.8"), Number(1024, 67108864)],
+            ),
+            TemplateSpec(
+                3,
+                "{} {} pipeline {} stage:{} lag:{}ms",
+                [ts, _level(), HexId(8), Enum(["recv", "fsync", "ack"]),
+                 Number(0, 500)],
+            ),
+        ],
+        query="ERROR",
+    )
+
+
+def _log_i() -> LogSpec:
+    # Starts at 06:59:30 so the stream crosses into hour 07 (the query's
+    # time window) early even for small generated sizes.
+    ts = Timestamp(date="2019-11-06", start_seconds=6 * 3600 + 3570, step_ms=90)
+    return LogSpec(
+        name="Log I",
+        description="warning-heavy maintenance log; time-window query",
+        templates=[
+            TemplateSpec(
+                8,
+                "{} {} compact tablet {} files:{}",
+                [ts, Enum(["INFO", "WARNING"], [19, 1]), PrefixedId("tab_", 7),
+                 Number(2, 40)],
+            ),
+            TemplateSpec(
+                0.6,
+                "{} WARNING slow scan tablet {} took {}ms",
+                [ts, PrefixedId("tab_", 7), Number(800, 20000)],
+            ),
+        ],
+        query="WARNING and 2019-11-06 07",
+    )
+
+
+def _log_j() -> LogSpec:
+    ts = Timestamp(date="2020-12-03")
+    return LogSpec(
+        name="Log J",
+        description="Pangu-style RPC trace summaries",
+        templates=[
+            TemplateSpec(
+                6,
+                "{} INFO TraceType:{} SectionType:{} CountOk:{} CountFail:{}",
+                [ts, Enum(["PanguTraceSummary", "PanguTraceDetail"], [7, 3]),
+                 Enum(["RPC_SealAndNew", "RPC_Append", "RPC_Open"], [2, 6, 2]),
+                 Number(1, 4000),
+                 Enum(["0", "0", "0", "1", "2", "7"], [60, 20, 10, 5, 3, 2])],
+            ),
+            TemplateSpec(
+                4,
+                "{} INFO TraceType:PanguTraceSpan span:{} parent:{} cost:{}us",
+                [ts, HexId(12), HexId(12), Number(10, 90000)],
+            ),
+        ],
+        query="TraceType:PanguTraceSummary and SectionType:RPC_SealAndNew not CountFail:0",
+    )
+
+
+def _log_k() -> LogSpec:
+    ts = Timestamp(
+        fmt="{date}T{hh:02d}:{mm:02d}:{ss:02d}",
+        date="2019-11-04",
+        start_seconds=2 * 3600 + 20 * 60,
+        step_ms=60,
+    )
+    return LogSpec(
+        name="Log K",
+        description="HTTP access log for a results bucket",
+        templates=[
+            TemplateSpec(
+                9,
+                "{} {} {} /results/{} {} {}ms",
+                [ts, IPv4("42.120"),
+                 Enum(["GET", "PUT", "DELETE", "HEAD"], [70, 20, 5, 5]),
+                 Number(0, 40), Enum(["200", "204", "404", "500"], [80, 10, 8, 2]),
+                 Number(1, 900)],
+            ),
+            TemplateSpec(
+                INCIDENT * 2,
+                "2019-11-04T02:26:{} {} DELETE /results/0 204 {}ms",
+                [Number(0, 60, "02d"), IPv4("42.120"), Number(1, 900)],
+            ),
+        ],
+        query="DELETE and /results/0 and 2019-11-04T02:26",
+    )
+
+
+def _log_l() -> LogSpec:
+    ts = Timestamp(date="2021-03-17")
+    return LogSpec(
+        name="Log L",
+        description="packet processor with multi-token 'Packet id' query",
+        templates=[
+            TemplateSpec(
+                7,
+                "{} {} Errorcode:{} Packet id:{} size:{}",
+                [ts, Enum(["INFO", "WARNING"], [6, 4]),
+                 Enum(["0", "0", "0", "104", "110"], [70, 15, 5, 6, 4]),
+                 Counter(172000000, 7, 5), Number(64, 9000)],
+            ),
+            TemplateSpec(
+                3,
+                "{} INFO ring buffer usage {}%",
+                [ts, Number(0, 100)],
+            ),
+            TemplateSpec(
+                INCIDENT,
+                "{} WARNING Errorcode:0 Packet id:172397858 size:{}",
+                [ts, Number(64, 9000)],
+            ),
+        ],
+        query="WARNING and Errorcode:0 and Packet id:172397858",
+    )
+
+
+def _log_m() -> LogSpec:
+    ts = Timestamp(date="2020-10-22")
+    client = Compose("exchange-client-", Number(0, 32))
+    return LogSpec(
+        name="Log M",
+        description="exchange worker log; query hits a thread name",
+        templates=[
+            TemplateSpec(
+                7,
+                "{} {} [{}] fetch /results/{} rows:{}",
+                [ts, _level(2), client, Number(0, 40), Number(0, 100000)],
+            ),
+            TemplateSpec(
+                3,
+                "{} INFO [{}] idle {}s",
+                [ts, client, Number(1, 600)],
+            ),
+            TemplateSpec(
+                INCIDENT,
+                "{} ERROR [exchange-client-24] fetch /results/10 rows:{}",
+                [ts, Number(0, 100000)],
+            ),
+        ],
+        query="ERROR and exchange-client-24 and /results/10",
+    )
+
+
+def _log_n() -> LogSpec:
+    ts = Timestamp(date="2021-04-01")
+    amount = Enum(["1", "42", "1337", "274899", "18446744073709551615"])
+    return LogSpec(
+        name="Log N",
+        description="billing aggregator (values of very uneven length)",
+        templates=[
+            TemplateSpec(
+                8,
+                "{} {} project_id:{} bill item {} amount:{}",
+                [ts, _level(2), Number(10000, 99999), Word(), amount],
+            ),
+            TemplateSpec(
+                INCIDENT,
+                "{} ERROR project_id:51274 bill item {} amount:{}",
+                [ts, Word(), amount],
+            ),
+        ],
+        query="ERROR and project_id:51274",
+    )
+
+
+def _log_o() -> LogSpec:
+    ts = Timestamp(date="2020-04-14", start_seconds=3 * 3600 + 3480, step_ms=70)
+    return LogSpec(
+        name="Log O",
+        description="lowercase-level tenant log with a time window",
+        templates=[
+            TemplateSpec(
+                8,
+                "{} {} ProjectId:{} op:{} took {}us",
+                [ts, Enum(["info", "warn", "error"], [8, 1, 1]),
+                 Number(1000, 9999), Word(), Number(10, 500000)],
+            ),
+            TemplateSpec(
+                INCIDENT * 2,
+                "2020-04-14 04:{}:{}.{} error ProjectId:2396 op:{} took {}us",
+                [Number(0, 60, "02d"), Number(0, 60, "02d"), Number(0, 1000, "03d"),
+                 Word(), Number(10, 500000)],
+            ),
+        ],
+        query="error and ProjectId:2396 and 2020-04-14 04",
+    )
+
+
+def _log_p() -> LogSpec:
+    ts = Timestamp(date="2021-06-09")
+    return LogSpec(
+        name="Log P",
+        description="frontend UI event log with symbolic error names",
+        templates=[
+            TemplateSpec(
+                8,
+                "{} {} event:{} user:{} page:{}",
+                [ts, _level(2),
+                 Enum(["CLICK_SAVE", "CLICK_SAVE_ERROR", "CLICK_OPEN", "DRAG_DROP"],
+                      [55, 5, 30, 10]),
+                 Number(100000, 999999),
+                 Path(root="/console/app", stems=("editor", "billing", "monitor", "alerts"), ext="", ids=25)],
+            ),
+        ],
+        query="ERROR and CLICK_SAVE_ERROR",
+    )
+
+
+def _log_q() -> LogSpec:
+    ts = Timestamp(date="2021-05-26")
+    return LogSpec(
+        name="Log Q",
+        description="C++ service log with source file + unix Time: query",
+        templates=[
+            TemplateSpec(
+                6,
+                "{} {} {}:{} Time:{} PostLogStoreLogs done",
+                [ts, _level(2),
+                 Enum(["PostLogStoreLogsHandler.cpp", "GetCursorHandler.cpp",
+                       "PutShardHandler.cpp"], [5, 3, 2]),
+                 Number(40, 900), Counter(1622009000, 1, 2)],
+            ),
+            TemplateSpec(
+                4,
+                "{} INFO heartbeat epoch:{}",
+                [ts, Counter(88000, 1, 0)],
+            ),
+            TemplateSpec(
+                INCIDENT,
+                "{} ERROR PostLogStoreLogsHandler.cpp:{} Time:1622009998 PostLogStoreLogs done",
+                [ts, Number(40, 900)],
+            ),
+        ],
+        query="ERROR and PostLogStoreLogsHandler.cpp and Time:1622009998",
+    )
+
+
+def _log_r() -> LogSpec:
+    ts = Timestamp(date="2020-07-07")
+    return LogSpec(
+        name="Log R",
+        description="partition server; query has a wildcarded request ip",
+        templates=[
+            TemplateSpec(
+                7,
+                "{} {} part_id:{} request id REQ_{} state:{}",
+                [ts, _level(2), Number(0, 1024), IPv4("11.203"),
+                 Enum(["ok", "slow", "fail"], [8, 1, 1])],
+            ),
+            TemplateSpec(
+                3,
+                "{} INFO part_id:{} checkpoint at {}",
+                [ts, Number(0, 1024), Counter(7_000_000, 13, 7)],
+            ),
+            TemplateSpec(
+                INCIDENT,
+                "{} ERROR part_id:510 request id REQ_{} state:fail",
+                [ts, IPv4("11.203")],
+            ),
+        ],
+        query="ERROR and part_id:510 and request id REQ_11.2??.*",
+    )
+
+
+def _log_s() -> LogSpec:
+    clock = TimeHMS(9, 12)
+    return LogSpec(
+        name="Log S",
+        description="sudo/syslog-style host log (query hits the template)",
+        templates=[
+            TemplateSpec(
+                5,
+                "Aug 30 {} host{} sudo: admin : TTY=unknown ; PWD=/ ; COMMAND={}",
+                [clock, Number(1, 40),
+                 Choice(["/etc/init.d/ilogtaild", "/usr/bin/systemctl",
+                         "/bin/journalctl"])],
+            ),
+            TemplateSpec(
+                5,
+                "Aug 30 {} host{} crond[{}]: session opened for user root",
+                [clock, Number(1, 40), Number(100, 32000)],
+            ),
+        ],
+        query="TTY=unknown and /etc/init.d/ilogtaild and Aug 30 10",
+    )
+
+
+def _log_t() -> LogSpec:
+    ts = Timestamp(date="2020-04-08", start_seconds=5 * 3600 + 45 * 60, step_ms=25)
+    return LogSpec(
+        name="Log T",
+        description="the 964GB volume outlier; dense trace stream",
+        size_factor=6.0,
+        templates=[
+            TemplateSpec(
+                8,
+                "{} {} io trace vol:{} op:{} lat:{}us",
+                [ts, _level(1), Number(10000, 99999), Enum(["R", "W", "F"], [6, 3, 1]),
+                 Number(20, 30000)],
+            ),
+            TemplateSpec(
+                2,
+                "{} INFO flush epoch {} dirty:{}MB",
+                [ts, Counter(400, 1, 0), Number(1, 2048)],
+            ),
+            TemplateSpec(
+                INCIDENT,
+                "2020-04-08 05:5{}:{}.{} ERROR io trace vol:39244 op:{} lat:{}us",
+                [Number(0, 10), Number(0, 60, "02d"), Number(0, 1000, "03d"),
+                 Enum(["R", "W"]), Number(20, 30000)],
+            ),
+        ],
+        query="ERROR and 39244 and 2020-04-08 05:5",
+    )
+
+
+def _log_u() -> LogSpec:
+    ts = Timestamp(date="2021-04-13")
+    # Deliberately pattern-poor variables: random-shape tokens defeat both
+    # delimiter and LCS probing, so runtime patterns cannot help (the
+    # paper's one log where LogGrep-SP ties full LogGrep).
+    blob = Choice(
+        [
+            "1618152650857662364_3_149245463_199235229",
+            "qz8814xkw02",
+            "m-31-aa-09-kd",
+            "77810249",
+            "trie0x88ffea",
+            "snapshot99213b",
+            "xx9912",
+            "k2k2k2k2",
+        ]
+    )
+    return LogSpec(
+        name="Log U",
+        description="index loader with irregular, pattern-poor tokens",
+        templates=[
+            TemplateSpec(
+                6,
+                "{} {} load segment {} offset {}",
+                [ts, _level(2), blob, Number(0, 1 << 30)],
+            ),
+            TemplateSpec(
+                4,
+                "{} ERROR failed to read trie data {} retrying",
+                [ts, blob],
+            ),
+        ],
+        query="failed to read trie data and 1618152650857662364_3_149245463_199235229",
+    )

@@ -1,0 +1,480 @@
+"""The 16 public-benchmark log types (Loghub-style, §6.2).
+
+Each spec mirrors the line format of its Loghub namesake closely enough to
+exercise the same parsing/extraction behaviour, and carries the Table 1
+query for that log (characters the paper masked with ``?`` are filled with
+concrete values here).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .fields import (
+    Choice,
+    Compose,
+    Counter,
+    Enum,
+    HexId,
+    IPv4,
+    Number,
+    PrefixedId,
+    Sometimes,
+    TimeHMS,
+    Timestamp,
+    Word,
+)
+from .spec import LogSpec, TemplateSpec
+
+
+def public_specs() -> List[LogSpec]:
+    return [
+        _android(),
+        _apache(),
+        _bgl(),
+        _hadoop(),
+        _hdfs(),
+        _healthapp(),
+        _hpc(),
+        _linux(),
+        _mac(),
+        _openstack(),
+        _proxifier(),
+        _spark(),
+        _ssh(),
+        _thunderbird(),
+        _windows(),
+        _zookeeper(),
+    ]
+
+
+def _android() -> LogSpec:
+    clock = TimeHMS(10, 20)
+    pid = Number(300, 12000)
+    return LogSpec(
+        name="Android",
+        description="logcat stream",
+        templates=[
+            TemplateSpec(
+                6,
+                "03-17 {}.{} {} {} I ActivityManager: START u0 cmp=com.app{}/.Main",
+                [clock, Number(0, 1000, "03d"), pid, pid, Number(1, 40)],
+            ),
+            TemplateSpec(
+                3,
+                "03-17 {}.{} {} {} W libprocessgroup: kill process group {}",
+                [clock, Number(0, 1000, "03d"), pid, pid, Number(1000, 30000)],
+            ),
+            TemplateSpec(
+                1,
+                "03-17 {}.{} {} {} E SensorService: ERROR socket read length failure {}",
+                [clock, Number(0, 1000, "03d"), pid, pid,
+                 Enum(["-104", "-11", "-32"], [5, 3, 2])],
+            ),
+        ],
+        query="ERROR and socket read length failure -104",
+    )
+
+
+def _apache() -> LogSpec:
+    clock = TimeHMS()
+    return LogSpec(
+        name="Apache",
+        description="httpd error log",
+        templates=[
+            TemplateSpec(
+                6,
+                "[Sun Dec 04 {} 2005] [notice] workerEnv.init() ok /etc/httpd/conf/workers{}.properties",
+                [clock, Number(1, 9)],
+            ),
+            TemplateSpec(
+                3,
+                "[Sun Dec 04 {} 2005] [error] mod_jk child workerEnv in error state {}",
+                [clock, Number(1, 12)],
+            ),
+            TemplateSpec(
+                0.4,
+                "[Sun Dec 04 {} 2005] [error] [client {}] Invalid URI in request {}",
+                [clock, IPv4("61.138"), Choice(["GET", "get", "quit", "HELP"])],
+            ),
+        ],
+        query="error and Invalid URI in request",
+    )
+
+
+def _bgl() -> LogSpec:
+    node = Compose(
+        "R", Enum(["00", "01", "02", "17"]), "-M", Enum(["0", "1"]), "-N",
+        Enum(["0", "1", "2", "4", "8", "D"]),
+    )
+    epoch = Counter(1117838570, 3, 2)
+    return LogSpec(
+        name="Bgl",
+        description="Blue Gene/L RAS log",
+        templates=[
+            TemplateSpec(
+                6,
+                "- {} 2005.06.03 {}-C:J12-U11 RAS KERNEL INFO instruction cache parity error corrected",
+                [epoch, node],
+            ),
+            TemplateSpec(
+                3,
+                "- {} 2005.06.03 {}-C:J12-U11 RAS KERNEL FATAL data TLB error interrupt",
+                [epoch, node],
+            ),
+            TemplateSpec(
+                0.4,
+                "- {} 2005.06.03 R00-M1-ND RAS KERNEL ERROR {} double-hummer alignment exceptions",
+                [epoch, Number(1, 99)],
+            ),
+        ],
+        query="ERROR and R00-M1-ND",
+    )
+
+
+def _hadoop() -> LogSpec:
+    ts = Timestamp(
+        fmt="{date} {hh:02d}:{mm:02d}:{ss:02d},{ms:03d}",
+        date="2015-09-23",
+        start_seconds=14 * 3600,
+        step_ms=120,
+    )
+    return LogSpec(
+        name="Hadoop",
+        description="YARN resource manager log",
+        templates=[
+            TemplateSpec(
+                6,
+                "{} INFO [main] org.apache.hadoop.mapreduce.v2.app.MRAppMaster: Executing with tokens: {}",
+                [ts, PrefixedId("appattempt_", 10)],
+            ),
+            TemplateSpec(
+                3,
+                "{} WARN [ContainerLauncher #{}] org.apache.hadoop.yarn.util.ProcfsBasedProcessTree: "
+                "Unexpected: procfs stat file is not in the expected format for process with pid {}",
+                [ts, Number(0, 16), Number(1000, 60000)],
+            ),
+            TemplateSpec(
+                0.4,
+                "{} ERROR [SIGTERM handler] org.apache.hadoop.mapred.TaskTracker: "
+                "RECEIVED SIGNAL 15: SIGTERM task {}",
+                [ts, PrefixedId("task_", 8)],
+            ),
+        ],
+        query="ERROR and RECEIVED SIGNAL 15: SIGTERM and 2015-09-23",
+    )
+
+
+def _hdfs() -> LogSpec:
+    blk = Compose("blk_", Number(8840000000, 8849999999))
+    clock = Number(203500, 223000, "06d")
+    return LogSpec(
+        name="Hdfs",
+        description="HDFS datanode block log (the paper's blk_<*> example)",
+        templates=[
+            TemplateSpec(
+                6,
+                "081109 {} {} INFO dfs.DataNode$PacketResponder: PacketResponder {} for block {} terminating",
+                [clock, Number(1, 40), Number(0, 3), blk],
+            ),
+            TemplateSpec(
+                3,
+                "081109 {} {} INFO dfs.FSNamesystem: BLOCK* NameSystem.addStoredBlock: "
+                "blockMap updated: {} is added to {} size {}",
+                [clock, Number(1, 40), IPv4("10.251", port=True), blk,
+                 Number(1024, 67108864)],
+            ),
+            TemplateSpec(
+                0.4,
+                "081109 {} {} error dfs.DataNode$DataXceiver: writeBlock {} received exception java.io.IOException",
+                [clock, Number(1, 40), blk],
+            ),
+        ],
+        query="error and blk_8846",
+    )
+
+
+def _healthapp() -> LogSpec:
+    clock = TimeHMS(0, 24)
+    session = Number(30000000, 31000000)
+    return LogSpec(
+        name="Healthapp",
+        description="mobile health app step counter",
+        templates=[
+            TemplateSpec(
+                6,
+                "20171223-{}:{}|Step_LSC|{}|onStandStepChanged {}",
+                [clock, Number(0, 1000, "03d"), session, Number(1000, 9000)],
+            ),
+            TemplateSpec(
+                4,
+                "20171223-{}:{}|Step_ExtSDM|{}|calculateAltitudeWithCache totalAltitude={}",
+                [clock, Number(0, 1000, "03d"), session,
+                 Enum(["0", "12", "150", "-3", "88"], [15, 30, 25, 15, 15])],
+            ),
+        ],
+        query="Step_ExtSDM and totalAltitude=0",
+    )
+
+
+def _hpc() -> LogSpec:
+    epoch = Counter(1077804, 7, 3)
+    return LogSpec(
+        name="Hpc",
+        description="HPC cluster hardware events",
+        templates=[
+            TemplateSpec(
+                4,
+                "{} node-{} unix.hw entered unavailable state via {} HWID={}",
+                [epoch, Number(0, 256), Word(),
+                 Sometimes("3378", Number(3000, 4000), p=0.02)],
+            ),
+            TemplateSpec(
+                6,
+                "{} node-{} unix.hw entered available state link up HWID={}",
+                [epoch, Number(0, 256), Number(3000, 4000)],
+            ),
+        ],
+        query="unavailable state and HWID=3378",
+    )
+
+
+def _linux() -> LogSpec:
+    clock = TimeHMS()
+    rhost = Sometimes("221.230.128.214", IPv4("221.230"), p=0.01)
+    return LogSpec(
+        name="Linux",
+        description="auth.log PAM failures",
+        templates=[
+            TemplateSpec(
+                5,
+                "Jun 14 {} combo sshd(pam_unix)[{}]: authentication failure; "
+                "logname= uid=0 euid=0 tty=NODEVssh ruser= rhost={}",
+                [clock, Number(10000, 33000), rhost],
+            ),
+            TemplateSpec(
+                5,
+                "Jun 14 {} combo su(pam_unix)[{}]: session opened for user {} by (uid=0)",
+                [clock, Number(10000, 33000),
+                 Choice(["root", "news", "cyrus", "mail"])],
+            ),
+        ],
+        query="authentication failure and rhost=221.230.128.214",
+    )
+
+
+def _mac() -> LogSpec:
+    clock = TimeHMS()
+    return LogSpec(
+        name="Mac",
+        description="macOS system.log",
+        templates=[
+            TemplateSpec(
+                6,
+                "Jul  1 {} calvisitor-10-105-160-95 kernel[0]: ARPT: {}: wl0: "
+                "wl_update_tcpkeep_seq: Original Seq: {}",
+                [clock, Counter(620000, 11, 4), Number(1, 1 << 31)],
+            ),
+            TemplateSpec(
+                4,
+                "Jul  1 {} calvisitor-10-105-160-95 com.apple.cts[{}]: request failed Err:{} Errno:{} ({})",
+                [clock, Number(100, 900), Enum(["-1", "-2", "0"], [3, 4, 3]),
+                 Enum(["1", "2", "35"], [3, 4, 3]), Word()],
+            ),
+        ],
+        query="failed and Err:-1 Errno:1",
+    )
+
+
+def _openstack() -> LogSpec:
+    ts = Timestamp(date="2017-05-16", start_seconds=0, step_ms=200)
+    pid = Number(2000, 3000)
+    return LogSpec(
+        name="Openstack",
+        description="nova compute log (query uses OR — CLP cannot run it)",
+        templates=[
+            TemplateSpec(
+                9,
+                "nova-compute.log {} {} INFO nova.compute.manager [instance: {}] VM Started (Lifecycle Event)",
+                [ts, pid, HexId(8)],
+            ),
+            TemplateSpec(
+                0.3,
+                "nova-compute.log {} {} WARNING nova.virt.libvirt.driver [instance: {}] "
+                "Unexpected error while running command grep -F",
+                [ts, pid, HexId(8)],
+            ),
+            TemplateSpec(
+                0.3,
+                "nova-compute.log {} {} ERROR nova.compute.manager [instance: {}] Failed to allocate network",
+                [ts, pid, HexId(8)],
+            ),
+        ],
+        query="ERROR or WARNING and Unexpected error while running command",
+    )
+
+
+def _proxifier() -> LogSpec:
+    clock = TimeHMS()
+    host = Enum(
+        ["play.google.com:443", "mtalk.google.com:5228", "api.twitter.com:443",
+         "cdn.example.net:80"],
+        [1, 4, 3, 2],
+    )
+    return LogSpec(
+        name="Proxifier",
+        description="desktop proxy connection log",
+        templates=[
+            TemplateSpec(
+                6,
+                "[10.30 {}] chrome.exe - {} open through proxy proxy.cse.cuhk.edu.hk:5070 HTTPS",
+                [clock, host],
+            ),
+            TemplateSpec(
+                4,
+                "[10.30 {}] chrome.exe - {} close, {} bytes sent, {} bytes received, lifetime {}:{}",
+                [clock, host, Number(100, 100000), Number(100, 1000000),
+                 Number(0, 60), Number(0, 60, "02d")],
+            ),
+        ],
+        query="HTTPS and play.google.com:443",
+    )
+
+
+def _spark() -> LogSpec:
+    ts = Timestamp(
+        fmt="17/06/09 {hh:02d}:{mm:02d}:{ss:02d}",
+        start_seconds=20 * 3600,
+        step_ms=110,
+    )
+    return LogSpec(
+        name="Spark",
+        description="executor logs",
+        templates=[
+            TemplateSpec(
+                6,
+                "{} INFO executor.Executor: Finished task {}.0 in stage {}.0 (TID {}). "
+                "{} bytes result sent to driver",
+                [ts, Number(0, 2000), Number(0, 40), Number(0, 90000),
+                 Number(800, 4000)],
+            ),
+            TemplateSpec(
+                3,
+                "{} INFO storage.BlockManager: Found block rdd_{}_{} locally",
+                [ts, Number(0, 99), Number(0, 4000)],
+            ),
+            TemplateSpec(
+                0.4,
+                "{} ERROR executor.Executor: Error sending result StreamResponse(streamId={}) to /{}",
+                [ts, HexId(10), IPv4("10.10", port=True)],
+            ),
+        ],
+        query="ERROR and Error sending result",
+    )
+
+
+def _ssh() -> LogSpec:
+    clock = TimeHMS()
+    attacker = Sometimes("202.100.179.208", IPv4("202.100"), p=0.05)
+    return LogSpec(
+        name="Ssh",
+        description="sshd brute-force log",
+        templates=[
+            TemplateSpec(
+                5,
+                "Dec 10 {} LabSZ sshd[{}]: Failed password for invalid user {} from {} port {} ssh2",
+                [clock, Number(20000, 30000),
+                 Choice(["admin", "oracle", "test", "ubnt", "support"]),
+                 attacker, Number(1024, 65536)],
+            ),
+            TemplateSpec(
+                5,
+                "Dec 10 {} LabSZ sshd[{}]: Received disconnect from {}: 11: Bye Bye [preauth]",
+                [clock, Number(20000, 30000), attacker],
+            ),
+        ],
+        query="Received disconnect from and 202.100.179.208",
+    )
+
+
+def _thunderbird() -> LogSpec:
+    epoch = Counter(1131566461, 5, 3)
+    clock = TimeHMS()
+    return LogSpec(
+        name="Thunderbird",
+        description="supercomputer syslog",
+        templates=[
+            TemplateSpec(
+                8,
+                "- {} 2005.11.09 tbird-admin1 Nov 9 {} local@tbird-admin1 ib_sm.x[{}]: "
+                "[ib_sm_sweep.c:{}]: No topology change",
+                [epoch, clock, Number(20000, 30000), Number(100, 999)],
+            ),
+            TemplateSpec(
+                0.5,
+                "- {} 2005.11.09 dn{} Nov 9 {} dn{}/dn{} kernel: Doorbell ACK timeout for qp {}",
+                [epoch, Number(100, 999), clock, Number(100, 999), Number(100, 999),
+                 HexId(6)],
+            ),
+        ],
+        query="Doorbell ACK timeout",
+    )
+
+
+def _windows() -> LogSpec:
+    clock = TimeHMS()
+    return LogSpec(
+        name="Windows",
+        description="CBS servicing log",
+        templates=[
+            TemplateSpec(
+                6,
+                "2016-09-28 {}, Info CBS Loaded Servicing Stack v6.1.7601.{} with Core: "
+                "winsxs\\amd64_microsoft-windows-servicingstack_{}",
+                [clock, Number(17000, 24000), HexId(16)],
+            ),
+            TemplateSpec(
+                3,
+                "2016-09-28 {}, Info CSI {} [SR] Verifying {} components",
+                [clock, Number(0, 1 << 31, "08x"), Number(1, 100)],
+            ),
+            TemplateSpec(
+                0.4,
+                "2016-09-28 {}, Error CBS Failed to process single phase execution [HRESULT = 0x{}]",
+                [clock, Number(0x80004001, 0x80004010, "08x")],
+            ),
+        ],
+        query="Error and Failed to process single phase execution",
+    )
+
+
+def _zookeeper() -> LogSpec:
+    ts = Timestamp(
+        fmt="2015-07-29 {hh:02d}:{mm:02d}:{ss:02d},{ms:03d}",
+        start_seconds=17 * 3600,
+        step_ms=150,
+    )
+    return LogSpec(
+        name="Zookeeper",
+        description="ensemble server log",
+        templates=[
+            TemplateSpec(
+                6,
+                "{} - INFO [NIOServerCxn.Factory:0.0.0.0/0.0.0.0:2181:NIOServerCnxn@{}] - "
+                "Closed socket connection for client /{}",
+                [ts, Number(800, 1200), IPv4("10.10", port=True)],
+            ),
+            TemplateSpec(
+                3,
+                "{} - WARN [QuorumPeer[myid={}]/0.0.0.0:2181:Follower@{}] - Got zxid 0x{} expected 0x1",
+                [ts, Number(1, 5), Number(60, 99), HexId(8)],
+            ),
+            TemplateSpec(
+                0.4,
+                "{} - ERROR [CommitProcessor:{}:NIOServerCnxn@{}] - "
+                "Unexpected Exception: java.nio.channels.CancelledKeyException",
+                [ts, Number(1, 5), Number(100, 500)],
+            ),
+        ],
+        query="ERROR and CommitProcessor",
+    )

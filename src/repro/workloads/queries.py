@@ -1,0 +1,107 @@
+"""Derived query workloads.
+
+Table 1 gives one query per dataset.  To measure latency *distributions*
+(and how filtering behaves across query classes) we derive a family of
+commands from a dataset's own content:
+
+=============  ======================================================
+class          what it exercises
+=============  ======================================================
+template-hit   keyword inside a static pattern → whole groups match
+               without touching any Capsule
+nominal        a mid-frequency token → dictionary + index path
+rare-id        a token occurring exactly once → stamps + patterns
+               must prune almost everything
+numeric        a digits-only token → the class CLP cannot filter
+wildcard       the rare id with its middle wildcarded
+negation       template-hit AND NOT nominal
+miss           a keyword absent from the dataset → pure filtering
+=============  ======================================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..common.tokenizer import tokenize
+
+#: A keyword that no generator ever emits.
+MISS_KEYWORD = "zqx_absent_keyword_xqz"
+
+
+@dataclass(frozen=True)
+class DerivedQuery:
+    """One derived command with its class label."""
+
+    label: str
+    command: str
+
+
+def _token_counts(lines: Sequence[str]) -> Counter:
+    counts: Counter = Counter()
+    for line in lines:
+        for token in tokenize(line):
+            if token:
+                counts[token] += 1
+    return counts
+
+
+def _pick(
+    counts: Counter,
+    total_lines: int,
+    lo: float,
+    hi: float,
+    predicate=None,
+) -> Optional[str]:
+    """A token whose frequency lies in [lo, hi) of lines, longest first."""
+    candidates = [
+        token
+        for token, count in counts.items()
+        if lo * total_lines <= count < hi * total_lines
+        and (predicate is None or predicate(token))
+    ]
+    if not candidates:
+        return None
+    # Longest token of the band: most selective-looking, deterministic.
+    return max(candidates, key=lambda t: (len(t), t))
+
+
+def derived_queries(lines: Sequence[str]) -> List[DerivedQuery]:
+    """Build the query family for one dataset's generated lines."""
+    counts = _token_counts(lines)
+    n = len(lines)
+    queries: List[DerivedQuery] = []
+
+    is_alpha = lambda t: t.isalpha()  # noqa: E731
+    has_alnum_mix = lambda t: any(c.isdigit() for c in t) and any(  # noqa: E731
+        c.isalpha() for c in t
+    )
+
+    template_hit = _pick(counts, n, 0.3, 1.1, is_alpha)
+    if template_hit:
+        queries.append(DerivedQuery("template-hit", template_hit))
+
+    nominal = _pick(counts, n, 0.01, 0.2, is_alpha)
+    if nominal:
+        queries.append(DerivedQuery("nominal", nominal))
+
+    rare = _pick(counts, n, 0, 2 / max(n, 1), has_alnum_mix)
+    if rare:
+        queries.append(DerivedQuery("rare-id", rare))
+        if len(rare) >= 6:
+            wildcarded = rare[:2] + "*" + rare[-2:]
+            queries.append(DerivedQuery("wildcard", wildcarded))
+
+    numeric = _pick(counts, n, 0, 0.01, str.isdigit)
+    if numeric:
+        queries.append(DerivedQuery("numeric", numeric))
+
+    if template_hit and nominal:
+        queries.append(
+            DerivedQuery("negation", f"{template_hit} not {nominal}")
+        )
+
+    queries.append(DerivedQuery("miss", MISS_KEYWORD))
+    return queries

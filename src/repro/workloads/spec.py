@@ -1,0 +1,66 @@
+"""Log-type specifications and the line generator.
+
+A :class:`LogSpec` bundles weighted :class:`TemplateSpec` s (printf-style
+static patterns with :mod:`~repro.workloads.fields` generators at the
+variable slots), the Table-1-style query command evaluated against it, and
+a relative size factor (the paper's logs range from GBs to Log T's 964 GB;
+the factor preserves those relative sizes at laptop scale).
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from .fields import Field
+
+
+@dataclass
+class TemplateSpec:
+    """One log statement: a format string plus its field generators."""
+
+    weight: float
+    template: str  # "{}"-style placeholders, one per field
+    fields: List[Field] = field(default_factory=list)
+
+    def render(self, rng: random.Random, i: int) -> str:
+        values = [fld(rng, i) for fld in self.fields]
+        return self.template.format(*values)
+
+
+@dataclass
+class LogSpec:
+    """A named synthetic log type with its evaluation query."""
+
+    name: str
+    templates: List[TemplateSpec]
+    query: str
+    description: str = ""
+    size_factor: float = 1.0  # relative volume vs the suite's base size
+    seed: int = 0
+
+    def generate(self, num_lines: int) -> List[str]:
+        """Generate ``num_lines * size_factor`` deterministic log lines."""
+        total = max(1, int(num_lines * self.size_factor))
+        rng = random.Random((self.seed << 16) ^ _stable_hash(self.name))
+        # Some fields carry lazily-initialized per-run state (e.g. HexId's
+        # shared prefix); work on a fresh copy so repeated generate() calls
+        # are byte-identical.
+        templates = copy.deepcopy(self.templates)
+        weights = [t.weight for t in templates]
+        picks = rng.choices(range(len(templates)), weights=weights, k=total)
+        return [templates[pick].render(rng, i) for i, pick in enumerate(picks)]
+
+
+def _stable_hash(text: str) -> int:
+    """A hash that doesn't change across interpreter runs (PYTHONHASHSEED)."""
+    value = 0
+    for ch in text:
+        value = (value * 131 + ord(ch)) & 0x7FFFFFFF
+    return value
+
+
+def total_lines(specs: Sequence[LogSpec], base_lines: int) -> int:
+    return sum(max(1, int(base_lines * spec.size_factor)) for spec in specs)

@@ -1,0 +1,225 @@
+"""Tests for the structure-based aggregation layer (§2's second phase)."""
+
+import re
+from collections import Counter
+
+import pytest
+
+from repro import LogGrep, LogGrepConfig
+from repro.analytics import (
+    Analyzer,
+    discover_schema,
+    group_count,
+    histogram,
+    numeric_stats,
+    top_k,
+)
+from repro.analytics.aggregate import parse_number
+from repro.capsule.box import CapsuleBox
+from repro.workloads import spec_by_name
+
+
+@pytest.fixture(scope="module")
+def archive():
+    spec = spec_by_name("Log B")
+    lines = spec.generate(3000)
+    lg = LogGrep(config=LogGrepConfig(block_bytes=1 << 17))
+    lg.compress(lines)
+    return lg, lines
+
+
+def reference_counts(lines, key, where=None):
+    counts = Counter()
+    pattern = re.compile(rf"{key}[:=](\S+)")
+    for line in lines:
+        if where and where not in line:
+            continue
+        match = pattern.search(line)
+        if match:
+            counts[match.group(1)] += 1
+    return counts
+
+
+class TestSchemaDiscovery:
+    def test_key_fields_found(self, archive):
+        lg, _ = archive
+        fields = Analyzer(lg).fields()
+        for expected in ("Project", "RequestId", "latency", "shard"):
+            assert expected in fields
+
+    def test_positional_names_for_anonymous_vectors(self, archive):
+        lg, _ = archive
+        fields = Analyzer(lg).fields()
+        assert any(name.startswith("g") and "_v" in name for name in fields)
+
+    def test_constant_pseudo_fields(self, archive):
+        lg, _ = archive
+        name = lg.store.names()[0]
+        schema = discover_schema(CapsuleBox.deserialize(lg.store.get(name)))
+        # The incident template plants Project:2963 as a constant token in
+        # at least one block's schema across the archive.
+        refs = [r for r in schema.fields if r.name == "Project"]
+        assert refs
+
+    def test_strip_prefix(self, archive):
+        lg, lines = archive
+        values = set(Analyzer(lg).column("Project"))
+        assert all(not value.startswith("Project:") for value in values)
+
+
+class TestAggregations:
+    def test_count_by_matches_reference(self, archive):
+        lg, lines = archive
+        ours = Analyzer(lg).count_by("Project")
+        assert dict(ours) == dict(reference_counts(lines, "Project"))
+
+    def test_count_by_with_where(self, archive):
+        lg, lines = archive
+        ours = Analyzer(lg).count_by("Project", where="ERROR")
+        assert dict(ours) == dict(reference_counts(lines, "Project", where="ERROR"))
+
+    def test_top_k(self, archive):
+        lg, lines = archive
+        (top_value, top_count), *_ = Analyzer(lg).top_k("RequestId", 1, where="ERROR")
+        reference = reference_counts(lines, "RequestId", where="ERROR")
+        assert reference[top_value] == top_count == max(reference.values())
+
+    def test_numeric_stats(self, archive):
+        lg, lines = archive
+        stats = Analyzer(lg).stats_of("latency")
+        numbers = [
+            float(m.group(1))
+            for m in (re.search(r"latency:(\d+)us", l) for l in lines)
+            if m
+        ]
+        assert stats.count == len(numbers)
+        assert stats.minimum == min(numbers)
+        assert stats.maximum == max(numbers)
+        assert stats.mean == pytest.approx(sum(numbers) / len(numbers))
+
+    def test_distinct(self, archive):
+        lg, lines = archive
+        distinct = Analyzer(lg).distinct("Project")
+        assert set(distinct) == set(reference_counts(lines, "Project"))
+
+    def test_unknown_field_empty(self, archive):
+        lg, _ = archive
+        assert Analyzer(lg).count_by("NoSuchField") == Counter()
+
+    def test_pairs_group_by(self, archive):
+        lg, lines = archive
+        analyzer = Analyzer(lg)
+        grouped = group_count(analyzer.pairs("Project", "RequestId", where="ERROR"))
+        reference = {}
+        for line in lines:
+            if "ERROR" not in line:
+                continue
+            project = re.search(r"Project:(\S+)", line)
+            request = re.search(r"RequestId:(\S+)", line)
+            if project and request:
+                reference.setdefault(project.group(1), Counter())[
+                    request.group(1)
+                ] += 1
+        assert {k: dict(v) for k, v in grouped.items()} == {
+            k: dict(v) for k, v in reference.items()
+        }
+
+
+class TestAggregateHelpers:
+    def test_parse_number(self):
+        assert parse_number("40719us") == 40719.0
+        assert parse_number("-3.5ms") == -3.5
+        assert parse_number("abc") is None
+        assert parse_number("") is None
+
+    def test_numeric_stats_empty(self):
+        stats = numeric_stats(["abc", ""])
+        assert stats.count == 0
+
+    def test_numeric_stats_percentiles(self):
+        stats = numeric_stats([str(i) for i in range(100)])
+        assert stats.p50 == 50
+        assert stats.p95 == 95
+        assert stats.p99 == 99
+
+    def test_top_k_helper(self):
+        assert top_k(["a", "b", "a"], 1) == [("a", 2)]
+
+    def test_histogram(self):
+        buckets = histogram([str(i) for i in range(100)], bucket_count=10)
+        assert len(buckets) == 10
+        assert sum(count for _, _, count in buckets) == 100
+
+    def test_histogram_uniform_values(self):
+        assert histogram(["5", "5", "5"]) == [(5.0, 5.0, 3)]
+
+    def test_histogram_empty(self):
+        assert histogram(["x"]) == []
+
+
+class TestNoReconstruction:
+    def test_aggregation_cheaper_than_grep(self, archive):
+        """count_by must open fewer Capsules than reconstructing hits."""
+        lg, _ = archive
+        analyzer = Analyzer(lg)
+        analyzer.count_by("Project", where="ERROR")
+        agg_decompressed = analyzer.stats.capsules_decompressed
+        lg.clear_query_cache()
+        grep_stats = lg.grep("ERROR").stats
+        assert agg_decompressed <= grep_stats.capsules_decompressed + 4
+
+
+class TestTimeline:
+    def test_total_and_buckets(self, archive):
+        lg, lines = archive
+        timeline = Analyzer(lg).timeline("ERROR", buckets=10)
+        assert len(timeline) == 10
+        expected = sum(1 for l in lines if "ERROR" in l)
+        assert sum(count for _, _, count in timeline) == expected
+        # Buckets tile the id space without gaps.
+        for (a_lo, a_hi, _), (b_lo, _, _) in zip(timeline, timeline[1:]):
+            assert b_lo == a_hi + 1
+
+    def test_bucket_counts_match_reference(self, archive):
+        lg, lines = archive
+        timeline = Analyzer(lg).timeline("ERROR", buckets=7)
+        for low, high, count in timeline:
+            expected = sum(
+                1 for i in range(low, min(high + 1, len(lines)))
+                if "ERROR" in lines[i]
+            )
+            assert count == expected
+
+    def test_empty_result(self, archive):
+        lg, _ = archive
+        timeline = Analyzer(lg).timeline("zz_nothing_zz", buckets=5)
+        assert sum(c for _, _, c in timeline) == 0
+
+
+class TestNumericFilter:
+    def test_filter_numeric(self, archive):
+        lg, lines = archive
+        count = Analyzer(lg).filter_numeric("latency", ">", 50000)
+        expected = sum(
+            1
+            for m in (re.search(r"latency:(\d+)us", l) for l in lines)
+            if m and int(m.group(1)) > 50000
+        )
+        assert count == expected
+
+    def test_filter_numeric_with_where(self, archive):
+        lg, lines = archive
+        count = Analyzer(lg).filter_numeric("latency", "<=", 1000, where="ERROR")
+        expected = sum(
+            1
+            for l in lines
+            if "ERROR" in l
+            for m in [re.search(r"latency:(\d+)us", l)]
+            if m and int(m.group(1)) <= 1000
+        )
+        assert count == expected
+
+    def test_invalid_operator(self, archive):
+        lg, _ = archive
+        with pytest.raises(ValueError):
+            Analyzer(lg).filter_numeric("latency", "!=", 1)

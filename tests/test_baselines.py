@@ -1,0 +1,167 @@
+"""Unit tests for the four comparator systems and the reference evaluator."""
+
+import pytest
+
+from repro.baselines import (
+    CLP,
+    GzipGrep,
+    LogGrepSP,
+    LogGrepSystem,
+    MiniElastic,
+    analyze,
+    grep_lines,
+    line_matches,
+)
+from repro.core.config import LogGrepConfig
+from repro.query.language import parse_query
+from tests.conftest import make_mixed_lines
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_mixed_lines(700, seed=11)
+
+
+class TestEvalUtil:
+    def test_single_keyword_substring(self):
+        parsed = parse_query("RRO")
+        assert line_matches(parsed, "an ERROR happened")
+        assert not line_matches(parsed, "all fine")
+
+    def test_case_sensitive_like_grep(self):
+        assert not line_matches(parse_query("error"), "an ERROR happened")
+
+    def test_multi_keyword_consecutive_tokens(self):
+        parsed = parse_query("read file")
+        assert line_matches(parsed, "will read file now")
+        assert not line_matches(parsed, "read the file")  # not adjacent
+
+    def test_suffix_prefix_anchoring(self):
+        parsed = parse_query("06 07")
+        assert line_matches(parsed, "ts 2019-11-06 07:22:01")
+        assert not line_matches(parsed, "ts 2019-11-06 17:22:01")
+
+    def test_not(self):
+        parsed = parse_query("a NOT b")
+        assert line_matches(parsed, "a here")
+        assert not line_matches(parsed, "a and b here")
+
+    def test_or(self):
+        parsed = parse_query("aaa OR bbb")
+        assert line_matches(parsed, "has bbb only")
+
+    def test_wildcard_in_token(self):
+        parsed = parse_query("dst:11.8.*")
+        assert line_matches(parsed, "x dst:11.8.44 y")
+        assert not line_matches(parsed, "x dst:11.9.44 y")
+
+    def test_grep_lines(self):
+        lines = ["one ERROR", "two ok", "ERROR again"]
+        assert grep_lines("ERROR", lines) == ["one ERROR", "ERROR again"]
+
+
+class TestAnalyze:
+    def test_lowercase_split(self):
+        assert analyze("bk.FF.13 Read") == ["bk", "ff", "13", "read"]
+
+    def test_empty(self):
+        assert analyze("...") == []
+
+
+SYSTEM_FACTORIES = [
+    lambda: GzipGrep(block_bytes=1 << 16),
+    CLP,
+    MiniElastic,
+    lambda: LogGrepSP(LogGrepConfig(block_bytes=1 << 16)),
+    lambda: LogGrepSystem(LogGrepConfig(block_bytes=1 << 16)),
+]
+SYSTEM_IDS = ["ggrep", "CLP", "ES", "LG-SP", "LG"]
+
+
+@pytest.mark.parametrize("factory", SYSTEM_FACTORIES, ids=SYSTEM_IDS)
+class TestSystemContract:
+    """Every system satisfies the LogStoreSystem contract identically."""
+
+    QUERIES = [
+        "ERROR",
+        "state: ERR",
+        "read AND bk.FF",
+        "state: NOT SUC",
+        "ERROR OR read",
+        "bk.F?.1* AND read",
+    ]
+
+    def test_query_parity(self, factory, corpus):
+        system = factory()
+        system.ingest(corpus)
+        for command in self.QUERIES:
+            assert system.query(command) == grep_lines(command, corpus), command
+
+    def test_metrics_populated(self, factory, corpus):
+        system = factory()
+        system.ingest(corpus)
+        assert system.raw_bytes == sum(len(l) + 1 for l in corpus)
+        assert system.storage_bytes() > 0
+        assert system.compression_ratio() > 0
+        assert system.compression_speed_mb_s() > 0
+
+    def test_incremental_ingest(self, factory, corpus):
+        system = factory()
+        system.ingest(corpus[:300])
+        system.ingest(corpus[300:])
+        assert system.query("ERROR") == grep_lines("ERROR", corpus)
+
+    def test_timed_query(self, factory, corpus):
+        system = factory()
+        system.ingest(corpus[:200])
+        lines, seconds = system.timed_query("ERROR")
+        assert seconds >= 0
+        assert lines == grep_lines("ERROR", corpus[:200])
+
+
+class TestCLPSpecifics:
+    def test_segment_filtering_reduces_scans(self):
+        # A keyword occurring in a single segment must confine the scan.
+        lines = [f"tick {i} ok" for i in range(500)]
+        lines.insert(7, "needle event observed once")
+        clp = CLP(segment_messages=64)
+        clp.ingest(lines)
+        candidates = clp._candidates_for_command(parse_query("needle"))
+        assert candidates is not None
+        assert len(candidates) == 1
+        assert len(clp._segments) > 1
+
+    def test_numeric_keyword_not_filterable(self, corpus):
+        clp = CLP(segment_messages=64)
+        clp.ingest(corpus)
+        candidates = clp._candidates_for_command(parse_query("1623"))
+        assert candidates == set(range(len(clp._segments)))
+
+    def test_pure_negative_scans_all(self, corpus):
+        clp = CLP()
+        clp.ingest(corpus)
+        assert clp._candidates_for_command(parse_query("not ERROR")) is None
+
+    def test_ratio_below_loggrep(self, corpus):
+        clp = CLP()
+        clp.ingest(corpus)
+        lg = LogGrepSystem(LogGrepConfig())
+        lg.ingest(corpus)
+        assert lg.compression_ratio() > clp.compression_ratio()
+
+
+class TestElasticSpecifics:
+    def test_storage_includes_index(self, corpus):
+        es = MiniElastic()
+        es.ingest(corpus)
+        # The positional index makes ES the storage hog of the lineup.
+        ggrep = GzipGrep()
+        ggrep.ingest(corpus)
+        assert es.storage_bytes() > ggrep.storage_bytes()
+
+    def test_segments_merge(self, corpus):
+        es = MiniElastic(flush_docs=32)
+        es.ingest(corpus)
+        # Tiered merging must keep the segment count well below the number
+        # of flushes.
+        assert len(es._segments) < len(corpus) / 32 / 2

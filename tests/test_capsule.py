@@ -1,0 +1,158 @@
+"""Tests for stamps and Capsule payloads (§4.2, §4.3, §5.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.capsule.capsule import (
+    CODEC_LZMA,
+    CODEC_RAW,
+    Capsule,
+    LAYOUT_FIXED,
+    LAYOUT_VARIABLE,
+)
+from repro.capsule.stamp import CapsuleStamp
+from repro.common.binio import BinaryReader, BinaryWriter
+from repro.common.errors import CompressionError
+
+nul_free = st.text(
+    alphabet=st.characters(
+        blacklist_characters="\x00", blacklist_categories=("Cs",)
+    ),
+    max_size=12,
+)
+
+
+class TestStamp:
+    def test_of_values(self):
+        stamp = CapsuleStamp.of_values(["1F", "8"])
+        assert stamp.type_mask == 0b000101
+        assert stamp.max_len == 2
+
+    def test_admits_type(self):
+        stamp = CapsuleStamp.of_values(["1234", "5678"])
+        assert stamp.admits("12")
+        assert not stamp.admits("1a")
+
+    def test_admits_length(self):
+        # Fig 6 case ②: "8F8" violates <sv1>'s len=1.
+        stamp = CapsuleStamp.of_values(["8", "1"])
+        assert not stamp.admits("8F8")
+        assert stamp.admits("8")
+
+    def test_empty_fragment_always_admitted(self):
+        assert CapsuleStamp.of_values(["xyz"]).admits("")
+
+    def test_permissive(self):
+        stamp = CapsuleStamp.permissive()
+        assert stamp.admits("anything at all ~ 123")
+
+    def test_serialization(self):
+        stamp = CapsuleStamp(0b101, 42)
+        w = BinaryWriter()
+        stamp.write(w)
+        assert CapsuleStamp.read(BinaryReader(w.getvalue())) == stamp
+
+
+class TestFixedCapsule:
+    def test_roundtrip(self):
+        values = ["1", "8", "2", "longer"]
+        capsule = Capsule.pack_fixed(values)
+        assert capsule.values() == values
+        assert [capsule.value_at(i) for i in range(4)] == values
+        assert capsule.width == 6
+        assert capsule.count == 4
+
+    def test_empty_values(self):
+        capsule = Capsule.pack_fixed([])
+        assert capsule.values() == []
+        assert capsule.count == 0
+
+    def test_all_empty_strings(self):
+        capsule = Capsule.pack_fixed(["", "", ""])
+        assert capsule.width == 0
+        assert capsule.values() == ["", "", ""]
+
+    def test_explicit_width(self):
+        capsule = Capsule.pack_fixed(["1", "2"], width=4)
+        assert capsule.width == 4
+        assert capsule.values() == ["1", "2"]
+
+    def test_value_at_out_of_range(self):
+        capsule = Capsule.pack_fixed(["a"])
+        with pytest.raises(IndexError):
+            capsule.value_at(1)
+        with pytest.raises(IndexError):
+            capsule.value_at(-1)
+
+    def test_nul_rejected(self):
+        with pytest.raises(CompressionError):
+            Capsule.pack_fixed(["a\x00b"])
+
+    def test_small_payload_stays_raw(self):
+        capsule = Capsule.pack_fixed(["ab"])
+        assert capsule.codec == CODEC_RAW
+
+    def test_compressible_payload_uses_lzma(self):
+        capsule = Capsule.pack_fixed(["abcabcabc"] * 100)
+        assert capsule.codec == CODEC_LZMA
+        assert capsule.compressed_bytes < 9 * 100
+
+    @given(st.lists(nul_free, max_size=40))
+    def test_roundtrip_property(self, values):
+        capsule = Capsule.pack_fixed(values)
+        assert capsule.values() == values
+
+
+class TestVariableCapsule:
+    def test_roundtrip(self):
+        values = ["alpha", "", "b", "cc"]
+        capsule = Capsule.pack_variable(values)
+        assert capsule.layout == LAYOUT_VARIABLE
+        assert capsule.values() == values
+        assert [capsule.value_at(i) for i in range(4)] == values
+
+    def test_empty(self):
+        assert Capsule.pack_variable([]).values() == []
+
+    @given(st.lists(nul_free, max_size=40))
+    def test_roundtrip_property(self, values):
+        capsule = Capsule.pack_variable(values)
+        assert capsule.values() == values
+
+
+class TestRegionCapsule:
+    def test_region_layout(self):
+        # Two pattern regions with different widths (Fig 5's dictionary).
+        capsule = Capsule.pack_regions(
+            [["ERR#404", "ERR#501"], ["SUCC"]], widths=[7, 4]
+        )
+        assert capsule.region_value(0, 7) == "ERR#404"
+        assert capsule.region_value(7, 7) == "ERR#501"
+        assert capsule.region_value(14, 4) == "SUCC"
+        assert capsule.count == 3
+
+    def test_value_longer_than_width_rejected(self):
+        with pytest.raises(CompressionError):
+            Capsule.pack_regions([["toolong"]], widths=[3])
+
+    def test_padding_within_region(self):
+        capsule = Capsule.pack_regions([["ab", "c"]], widths=[4])
+        assert capsule.region_value(0, 4) == "ab"
+        assert capsule.region_value(4, 4) == "c"
+
+
+class TestCapsuleSerialization:
+    @pytest.mark.parametrize("layout", ["fixed", "variable"])
+    def test_roundtrip(self, layout):
+        values = ["x", "yy", "zzz"] * 20
+        if layout == "fixed":
+            capsule = Capsule.pack_fixed(values)
+        else:
+            capsule = Capsule.pack_variable(values)
+        w = BinaryWriter()
+        capsule.write(w)
+        loaded = Capsule.read(BinaryReader(w.getvalue()))
+        assert loaded.values() == values
+        assert loaded.stamp == capsule.stamp
+        assert loaded.width == capsule.width

@@ -1,0 +1,124 @@
+"""Tests for the ``loggrep`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import make_mixed_lines
+
+
+@pytest.fixture
+def log_file(tmp_path):
+    path = tmp_path / "app.log"
+    lines = make_mixed_lines(300)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path, lines
+
+
+class TestCompress:
+    def test_compress_creates_archive(self, log_file, tmp_path, capsys):
+        path, _ = log_file
+        archive = tmp_path / "arch"
+        rc = main(["compress", str(path), "-a", str(archive)])
+        assert rc == 0
+        assert "ratio" in capsys.readouterr().out
+        assert list(archive.iterdir())
+
+    def test_compress_block_bytes(self, log_file, tmp_path):
+        path, _ = log_file
+        archive = tmp_path / "arch"
+        main(["compress", str(path), "-a", str(archive), "--block-bytes", "4096"])
+        assert len(list(archive.iterdir())) > 1
+
+
+class TestGrep:
+    def test_grep_outputs_lines(self, log_file, tmp_path, capsys):
+        path, lines = log_file
+        archive = tmp_path / "arch"
+        main(["compress", str(path), "-a", str(archive)])
+        capsys.readouterr()
+        rc = main(["grep", "ERROR", "-a", str(archive)])
+        assert rc == 0
+        out = capsys.readouterr().out.splitlines()
+        expected = [l for l in lines if "ERROR" in l]
+        assert out == expected
+
+    def test_grep_count(self, log_file, tmp_path, capsys):
+        path, lines = log_file
+        archive = tmp_path / "arch"
+        main(["compress", str(path), "-a", str(archive)])
+        capsys.readouterr()
+        main(["grep", "ERROR", "-a", str(archive), "-c"])
+        out = capsys.readouterr().out.strip()
+        assert int(out) == sum(1 for l in lines if "ERROR" in l)
+
+    def test_grep_stats_to_stderr(self, log_file, tmp_path, capsys):
+        path, _ = log_file
+        archive = tmp_path / "arch"
+        main(["compress", str(path), "-a", str(archive)])
+        capsys.readouterr()
+        main(["grep", "ERROR", "-a", str(archive), "--stats"])
+        captured = capsys.readouterr()
+        assert "hit(s)" in captured.err
+
+
+class TestStats:
+    def test_stats_lists_blocks(self, log_file, tmp_path, capsys):
+        path, lines = log_file
+        archive = tmp_path / "arch"
+        main(["compress", str(path), "-a", str(archive)])
+        capsys.readouterr()
+        rc = main(["stats", "-a", str(archive)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"total: {len(lines)} lines" in out
+
+
+class TestArgErrors:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestAnalyze:
+    def test_fields_and_count_by(self, log_file, tmp_path, capsys):
+        path, lines = log_file
+        archive = tmp_path / "arch"
+        main(["compress", str(path), "-a", str(archive)])
+        capsys.readouterr()
+        rc = main(["analyze", "-a", str(archive), "--fields"])
+        assert rc == 0
+        assert "fields:" in capsys.readouterr().out
+
+        main(["analyze", "-a", str(archive), "--count-by", "code", "-w", "ERROR"])
+        out = capsys.readouterr().out
+        total = sum(int(row.split()[0]) for row in out.strip().splitlines())
+        assert total == sum(1 for l in lines if "ERROR" in l and "code=" in l)
+
+    def test_stats_of(self, log_file, tmp_path, capsys):
+        path, _ = log_file
+        archive = tmp_path / "arch"
+        main(["compress", str(path), "-a", str(archive)])
+        capsys.readouterr()
+        rc = main(["analyze", "-a", str(archive), "--stats-of", "code"])
+        assert rc == 0
+        assert "count=" in capsys.readouterr().out
+
+    def test_no_action(self, log_file, tmp_path, capsys):
+        path, _ = log_file
+        archive = tmp_path / "arch"
+        main(["compress", str(path), "-a", str(archive)])
+        capsys.readouterr()
+        assert main(["analyze", "-a", str(archive)]) == 2
+
+    def test_grep_ignore_case_flag(self, log_file, tmp_path, capsys):
+        path, lines = log_file
+        archive = tmp_path / "arch"
+        main(["compress", str(path), "-a", str(archive)])
+        capsys.readouterr()
+        main(["grep", "error", "-a", str(archive), "-c", "-i"])
+        out = capsys.readouterr().out.strip()
+        assert int(out) == sum(1 for l in lines if "error" in l.lower())

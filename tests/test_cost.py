@@ -1,0 +1,76 @@
+"""Tests for the Equation 1 cost model (§6)."""
+
+import pytest
+
+from repro.cost import (
+    CostBreakdown,
+    CostParameters,
+    breakeven_query_frequency,
+    overall_cost,
+)
+
+
+class TestOverallCost:
+    def test_storage_term(self):
+        # 1 TB at ratio 10 → 100 GB stored for 6 months at $0.017/GB-month.
+        cost = overall_cost(10.0, 1000.0, 0.0)
+        assert cost.storage == pytest.approx(0.017 * 6 * 1000 / 10)
+
+    def test_compression_term(self):
+        # 1 TB at 100 MB/s → 1e6/100 s ≈ 2.78 h at $0.016/h.
+        cost = overall_cost(1.0, 100.0, 0.0)
+        hours = (1e12 / (100 * 1e6)) / 3600
+        assert cost.compression == pytest.approx(0.016 * hours)
+
+    def test_query_term_scales_with_frequency(self):
+        base = overall_cost(1.0, 100.0, 60.0)
+        double = overall_cost(
+            1.0, 100.0, 60.0, CostParameters(query_frequency=200.0)
+        )
+        assert double.query == pytest.approx(2 * base.query)
+
+    def test_total(self):
+        cost = overall_cost(5.0, 10.0, 30.0)
+        assert cost.total == pytest.approx(
+            cost.storage + cost.compression + cost.query
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            overall_cost(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            overall_cost(1.0, 0.0, 1.0)
+
+    def test_better_ratio_cheaper_storage(self):
+        worse = overall_cost(2.0, 10.0, 10.0)
+        better = overall_cost(20.0, 10.0, 10.0)
+        assert better.storage < worse.storage
+
+    def test_scaled(self):
+        cost = CostBreakdown(1.0, 2.0, 3.0)
+        assert cost.scaled(2.0).total == pytest.approx(12.0)
+
+
+class TestBreakeven:
+    def test_es_style_breakeven(self):
+        # "Base" = cheap storage, slow queries; "other" = pricey storage,
+        # fast queries (the ES situation of §6.1).
+        base = overall_cost(10.0, 2.0, 600.0)
+        other = overall_cost(1.0, 0.5, 10.0)
+        frequency = breakeven_query_frequency(base, 600.0, other, 10.0)
+        assert frequency > 0
+        # At the breakeven frequency both totals agree.
+        params = CostParameters(query_frequency=frequency)
+        total_base = overall_cost(10.0, 2.0, 600.0, params).total
+        total_other = overall_cost(1.0, 0.5, 10.0, params).total
+        assert total_base == pytest.approx(total_other, rel=1e-6)
+
+    def test_never_cheaper(self):
+        base = overall_cost(10.0, 2.0, 10.0)
+        other = overall_cost(1.0, 0.5, 10.0)  # same latency, higher fixed
+        assert breakeven_query_frequency(base, 10.0, other, 10.0) == float("inf")
+
+    def test_already_cheaper(self):
+        base = overall_cost(1.0, 0.5, 600.0)
+        other = overall_cost(10.0, 2.0, 10.0)  # cheaper fixed AND faster
+        assert breakeven_query_frequency(base, 600.0, other, 10.0) == 0.0

@@ -1,0 +1,74 @@
+"""Additional coverage for the EXPLAIN facility's per-encoding branches."""
+
+import pytest
+
+from repro.capsule.assembler import EncodingOptions, encode_plain, encode_vector
+from repro.query.explain import _plan_vector, explain_block
+from repro.query.language import Keyword, parse_query
+
+
+class TestPlanVector:
+    def test_real_filtered(self):
+        encoded = encode_vector([f"req_{i}" for i in range(100)], EncodingOptions())
+        plan = _plan_vector(0, 0, encoded, Keyword("ZZZ"))
+        assert plan.decision == "filtered"
+        assert plan.kind == "real"
+
+    def test_real_candidates(self):
+        encoded = encode_vector([f"req_{i}" for i in range(100)], EncodingOptions())
+        plan = _plan_vector(0, 0, encoded, Keyword("req_7"))
+        assert plan.decision == "candidates"
+
+    def test_real_constant_hit(self):
+        encoded = encode_vector([f"req_{i}" for i in range(100)], EncodingOptions())
+        plan = _plan_vector(0, 0, encoded, Keyword("eq"))
+        assert plan.decision == "candidates"
+        assert "constants" in plan.detail
+
+    def test_real_outliers_force_scan(self):
+        values = [f"req_{i}" for i in range(190)] + ["WEIRD!"] + [
+            f"req_{i}" for i in range(190, 200)
+        ]
+        encoded = encode_vector(values, EncodingOptions(sample_rate=1.0))
+        plan = _plan_vector(0, 0, encoded, Keyword("%%"))
+        assert "outlier" in plan.detail
+
+    def test_nominal_filtered_and_candidates(self):
+        values = ["ERR#404"] * 30 + ["SUCC"] * 60
+        encoded = encode_vector(values, EncodingOptions())
+        assert _plan_vector(0, 0, encoded, Keyword("zzz")).decision == "filtered"
+        hit = _plan_vector(0, 0, encoded, Keyword("404"))
+        assert hit.decision == "candidates"
+        assert hit.kind == "nominal"
+
+    def test_plain_stamp_and_scan(self):
+        encoded = encode_plain(["123", "456"] * 20)
+        assert _plan_vector(0, 0, encoded, Keyword("abc")).decision == "filtered"
+        assert _plan_vector(0, 0, encoded, Keyword("45")).decision == "scan"
+
+    def test_wildcard_marked_regex(self):
+        encoded = encode_plain(["123"] * 10)
+        plan = _plan_vector(0, 0, encoded, Keyword("1*3"))
+        assert plan.decision == "regex-scan"
+
+
+class TestExplainBlock:
+    def test_summary_structure(self):
+        from repro.blockstore.block import LogBlock
+        from repro.core.compressor import compress_block
+        from repro.core.config import LogGrepConfig
+        from tests.conftest import make_mixed_lines
+
+        box = compress_block(
+            LogBlock(0, 0, make_mixed_lines(300, seed=95)), LogGrepConfig()
+        )
+        plan = explain_block(box, parse_query("ERROR AND code=3"), "b0")
+        text = plan.summary()
+        assert text.startswith("block b0:")
+        assert plan.vector_plans
+        # Duplicate search strings are planned once.
+        plan2 = explain_block(box, parse_query("ERROR OR ERROR"), "b0")
+        keywords = [p.keyword for p in plan2.vector_plans]
+        assert keywords.count("ERROR") == len(set(
+            (p.group, p.var) for p in plan2.vector_plans
+        ))

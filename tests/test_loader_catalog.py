@@ -1,0 +1,108 @@
+"""Tests for file-backed workloads and the multi-log catalog."""
+
+import pytest
+
+from repro.baselines.evalutil import grep_lines
+from repro.bench.runner import measure_system, system_factories
+from repro.core.catalog import LogCatalog, UnknownLogError
+from repro.core.config import LogGrepConfig
+from repro.workloads.loader import FileLogSpec
+from tests.conftest import make_mixed_lines
+
+
+@pytest.fixture
+def log_file(tmp_path):
+    lines = make_mixed_lines(500, seed=81)
+    path = tmp_path / "svc.log"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return str(path), lines
+
+
+class TestFileLogSpec:
+    def test_from_path(self, log_file):
+        path, lines = log_file
+        spec = FileLogSpec.from_path(path, query="ERROR")
+        assert spec.name == "svc.log"
+        assert len(spec) == len(lines)
+        assert spec.generate(100) == lines[:100]
+        assert spec.generate(10**9) == lines
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            FileLogSpec.from_path("/no/such/file.log", query="x")
+
+    def test_runs_through_bench_harness(self, log_file):
+        path, lines = log_file
+        spec = FileLogSpec.from_path(path, query="ERROR")
+        measurement = measure_system(
+            spec, spec.generate(len(lines)), system_factories()["LG"]
+        )
+        assert measurement.hits == len(grep_lines("ERROR", lines))
+        assert measurement.compression_ratio > 1
+
+    def test_nul_bytes_stripped(self, tmp_path):
+        path = tmp_path / "weird.log"
+        path.write_bytes(b"ok line\nbad\x00line\n")
+        spec = FileLogSpec.from_path(str(path), query="ok")
+        assert spec.generate(10) == ["ok line", "badline"]
+
+
+class TestCatalog:
+    CONFIG = LogGrepConfig(block_bytes=16 * 1024)
+
+    def test_ingest_and_grep(self):
+        catalog = LogCatalog(config=self.CONFIG)
+        lines_a = make_mixed_lines(300, seed=82)
+        lines_b = make_mixed_lines(300, seed=83)
+        catalog.ingest("frontend", lines_a)
+        catalog.ingest("backend", lines_b)
+        assert catalog.names() == ["backend", "frontend"]
+        assert catalog.grep("frontend", "ERROR").lines == grep_lines(
+            "ERROR", lines_a
+        )
+
+    def test_unknown_log(self):
+        catalog = LogCatalog(config=self.CONFIG)
+        with pytest.raises(UnknownLogError):
+            catalog.grep("ghost", "x")
+
+    def test_grep_all(self):
+        catalog = LogCatalog(config=self.CONFIG)
+        catalog.ingest("a", ["hello incident-77 here", "noise"])
+        catalog.ingest("b", ["other noise"])
+        catalog.ingest("c", ["incident-77 seen downstream"])
+        hits = catalog.grep_all("incident-77")
+        assert [name for name, _ in hits] == ["a", "c"]
+
+    def test_count_all(self):
+        catalog = LogCatalog(config=self.CONFIG)
+        catalog.ingest("a", ["x ERROR", "y"])
+        catalog.ingest("b", ["z"])
+        assert catalog.count_all("ERROR") == {"a": 1, "b": 0}
+
+    def test_entries_accounting(self):
+        catalog = LogCatalog(config=self.CONFIG)
+        lines = make_mixed_lines(300, seed=84)
+        catalog.ingest("svc", lines)
+        (entry,) = catalog.entries()
+        assert entry.name == "svc"
+        assert entry.raw_bytes == sum(len(l) + 1 for l in lines)
+        assert entry.ratio > 1
+        assert catalog.storage_bytes() == entry.storage_bytes
+
+    def test_filesystem_persistence(self, tmp_path):
+        root = str(tmp_path / "catalog")
+        catalog = LogCatalog(root=root, config=self.CONFIG)
+        lines = make_mixed_lines(300, seed=85)
+        catalog.ingest("svc", lines)
+
+        reopened = LogCatalog(root=root, config=self.CONFIG)
+        assert reopened.names() == ["svc"]
+        assert reopened.grep("svc", "ERROR").lines == grep_lines("ERROR", lines)
+
+    def test_incremental_ingest(self):
+        catalog = LogCatalog(config=self.CONFIG)
+        lines = make_mixed_lines(400, seed=86)
+        catalog.ingest("svc", lines[:200])
+        catalog.ingest("svc", lines[200:])
+        assert catalog.log("svc").decompress_all() == lines

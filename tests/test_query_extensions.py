@@ -1,0 +1,139 @@
+"""Tests for the query-language extensions: parentheses, ignore-case,
+count-only queries, and DNF normalization."""
+
+import pytest
+
+from repro import LogGrep, LogGrepConfig
+from repro.baselines.evalutil import grep_lines, line_matches
+from repro.common.errors import QuerySyntaxError
+from repro.query.language import parse_query
+from tests.conftest import make_mixed_lines
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_mixed_lines(800, seed=5)
+
+
+@pytest.fixture(scope="module")
+def store(corpus):
+    lg = LogGrep(config=LogGrepConfig(block_bytes=16 * 1024))
+    lg.compress(corpus)
+    return lg
+
+
+class TestParentheses:
+    def test_grouping_changes_meaning(self):
+        # Without parens: a OR (b AND c); with parens: (a OR b) AND c.
+        flat = parse_query("aa or bb and cc")
+        grouped = parse_query("( aa or bb ) and cc")
+        assert [[t.search.text for t in d] for d in flat.disjuncts] == [
+            ["aa"],
+            ["bb", "cc"],
+        ]
+        assert [[t.search.text for t in d] for d in grouped.disjuncts] == [
+            ["aa", "cc"],
+            ["bb", "cc"],
+        ]
+
+    def test_nested(self):
+        q = parse_query("( ( aa or bb ) and ( cc or dd ) )")
+        assert len(q.disjuncts) == 4
+
+    def test_negated_group_de_morgan(self):
+        q = parse_query("xx not ( aa or bb )")
+        # ¬(a ∨ b) = ¬a ∧ ¬b
+        (disjunct,) = q.disjuncts
+        assert [(t.search.text, t.negated) for t in disjunct] == [
+            ("xx", False),
+            ("aa", True),
+            ("bb", True),
+        ]
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("( aa or bb")
+        with pytest.raises(QuerySyntaxError):
+            parse_query("aa )")
+
+    def test_too_complex_rejected(self):
+        branches = " and ".join(f"( a{i} or b{i} )" for i in range(10))
+        with pytest.raises(QuerySyntaxError):
+            parse_query(branches)
+
+    def test_grouped_evaluation_matches_reference(self, store, corpus):
+        command = "( ERROR or read ) and T1* not bk.FF"
+
+        def reference(line):
+            import re
+
+            tokens = line.split(" ")
+            has = lambda frag: any(frag in t for t in tokens)  # noqa: E731
+            t1 = any(re.search(r"T1[^ ]*", t) for t in tokens)
+            return (has("ERROR") or has("read")) and t1 and not has("bk.FF")
+
+        expected = [l for l in corpus if reference(l)]
+        assert store.grep(command).lines == expected
+
+
+class TestIgnoreCase:
+    def test_reference_semantics(self):
+        parsed = parse_query("error", ignore_case=True)
+        assert line_matches(parsed, "an ERROR happened")
+        assert line_matches(parsed, "an Error happened")
+        assert not line_matches(parsed, "all fine")
+
+    def test_grep_ignore_case(self, store, corpus):
+        result = store.grep("error", ignore_case=True)
+        expected = [l for l in corpus if "error" in l.lower()]
+        assert result.lines == expected
+        # And sanity: it differs from the case-sensitive result.
+        assert result.count > store.grep("error").count
+
+    def test_ignore_case_multi_token(self, store, corpus):
+        expected = grep_lines("WRITE TO FILE:", corpus, ignore_case=True)
+        assert store.grep("WRITE TO FILE:", ignore_case=True).lines == expected
+        assert expected  # the corpus has lowercase "write to file:" lines
+
+    def test_cache_keys_distinct(self, store):
+        store.clear_query_cache()
+        sensitive = store.grep("error")
+        insensitive = store.grep("error", ignore_case=True)
+        assert insensitive.count != sensitive.count
+
+    def test_wildcard_plus_ignore_case(self, store, corpus):
+        import re
+
+        regex = re.compile(r"bk\.f.\.1[^ ]*", re.IGNORECASE)
+        expected = [
+            l for l in corpus if any(regex.search(t) for t in l.split(" "))
+        ]
+        assert store.grep("BK.F?.1*", ignore_case=True).lines == expected
+
+
+class TestCount:
+    def test_count_matches_grep(self, store, corpus):
+        for command in ["ERROR", "read AND bk.FF", "state: NOT SUC"]:
+            assert store.count(command) == store.grep(command).count
+
+    def test_count_zero(self, store):
+        assert store.count("absent_keyword_zzz") == 0
+
+    def test_count_cheaper_than_grep(self, corpus):
+        lg = LogGrep(config=LogGrepConfig(block_bytes=16 * 1024))
+        lg.compress(corpus)
+        from repro.query.stats import QueryStats
+        from repro.query.language import parse_query as pq
+
+        # count() must not touch more capsules than grep() does.
+        lg.clear_query_cache()
+        grep_stats = lg.grep("read").stats
+        lg.clear_query_cache()
+        stats = QueryStats()
+        parsed = pq("read")
+        total = 0
+        for name in lg.store.names():
+            hits, _, _ = lg._locate_block(name, parsed, stats)
+            total += sum(len(rows) for rows in hits.values())
+        assert total == grep_stats.entries_matched
+        assert stats.capsules_decompressed <= grep_stats.capsules_decompressed

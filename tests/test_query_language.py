@@ -1,0 +1,108 @@
+"""Tests for query-command parsing (§3, §5)."""
+
+import pytest
+
+from repro.common.errors import QuerySyntaxError
+from repro.query.language import Keyword, parse_query
+from repro.query.modes import MatchMode
+
+
+class TestParsing:
+    def test_single_search_string(self):
+        q = parse_query("ERROR")
+        assert len(q.disjuncts) == 1
+        assert q.disjuncts[0][0].search.text == "ERROR"
+        assert not q.disjuncts[0][0].negated
+
+    def test_and(self):
+        q = parse_query("ERROR and Project:2963")
+        terms = q.disjuncts[0]
+        assert [t.search.text for t in terms] == ["ERROR", "Project:2963"]
+
+    def test_not(self):
+        q = parse_query("ERROR not UserId:-2")
+        terms = q.disjuncts[0]
+        assert terms[1].negated
+
+    def test_or_precedence(self):
+        # Openstack's query: OR binds looser than AND.
+        q = parse_query("ERROR or WARNING and Unexpected error while running command")
+        assert len(q.disjuncts) == 2
+        assert [t.search.text for t in q.disjuncts[0]] == ["ERROR"]
+        assert [t.search.text for t in q.disjuncts[1]] == [
+            "WARNING",
+            "Unexpected error while running command",
+        ]
+
+    def test_multi_token_search_string(self):
+        q = parse_query("WARNING and 2019-11-06 07")
+        second = q.disjuncts[0][1].search
+        assert second.text == "2019-11-06 07"
+        assert [k.text for k in second.keywords] == ["2019-11-06", "07"]
+        assert second.multi_token
+
+    def test_operator_case_insensitive(self):
+        q = parse_query("a AND b NOT c OR d")
+        assert len(q.disjuncts) == 2
+
+    def test_leading_not(self):
+        q = parse_query("not ERROR")
+        assert q.disjuncts[0][0].negated
+
+    def test_paper_example(self):
+        q = parse_query("error AND dst:11.8.* NOT state:503")
+        terms = q.disjuncts[0]
+        assert [t.search.text for t in terms] == ["error", "dst:11.8.*", "state:503"]
+        assert [t.negated for t in terms] == [False, False, True]
+        assert terms[1].search.keywords[0].is_wildcard
+
+    def test_search_strings_listing(self):
+        q = parse_query("a and b or c")
+        assert [s.text for s in q.search_strings()] == ["a", "b", "c"]
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad", ["", "and", "and x", "x or", "x and", "x not", "or x", "x or or y"]
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+
+class TestKeyword:
+    def test_literal(self):
+        k = Keyword("ERROR")
+        assert not k.is_wildcard
+        assert k.literals() == ["ERROR"]
+        assert k.longest_literal() == "ERROR"
+
+    def test_wildcard_detection(self):
+        assert Keyword("dst:11.8.*").is_wildcard
+        assert Keyword("????_ay87a").is_wildcard
+
+    def test_literals_split(self):
+        k = Keyword("10.1??.*:80")
+        assert k.literals() == ["10.1", ".", ":80"]
+        assert k.longest_literal() == "10.1"
+
+    def test_all_wildcards(self):
+        k = Keyword("***")
+        assert k.literals() == []
+        assert k.longest_literal() == ""
+
+    def test_regex_modes(self):
+        k = Keyword("a?c*")
+        assert k.regex_for(MatchMode.EXACT).search("abcxyz")
+        assert not k.regex_for(MatchMode.EXACT).search("zabc")
+        assert k.regex_for(MatchMode.PREFIX).search("abc-tail")
+        assert k.regex_for(MatchMode.SUBSTRING).search("zz abc zz".replace(" ", ""))
+
+    def test_regex_escapes_specials(self):
+        k = Keyword("a.b")
+        assert not k.regex_for(MatchMode.EXACT).search("aXb" + "!")
+        assert k.regex_for(MatchMode.EXACT).search("a.b")
+
+    def test_regex_cached(self):
+        k = Keyword("x*")
+        assert k.regex_for(MatchMode.EXACT) is k.regex_for(MatchMode.EXACT)

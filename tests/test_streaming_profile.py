@@ -1,0 +1,107 @@
+"""Tests for streaming ingestion and the compression profiler."""
+
+import pytest
+
+from repro.baselines.evalutil import grep_lines
+from repro.bench.profile import profile_compression
+from repro.blockstore.store import MemoryStore
+from repro.core.config import LogGrepConfig, ablated
+from repro.core.streaming import StreamingCompressor
+from tests.conftest import make_mixed_lines
+
+CONFIG = LogGrepConfig(block_bytes=8 * 1024)
+
+
+class TestStreamingCompressor:
+    def test_stream_then_query(self):
+        lines = make_mixed_lines(700, seed=3)
+        with StreamingCompressor(config=CONFIG) as stream:
+            for line in lines:
+                stream.append(line)
+            report = stream.flush()
+            assert report.blocks > 1
+            assert report.raw_bytes == sum(len(l) + 1 for l in lines)
+            reader = stream.open_reader()
+            assert reader.grep("ERROR").lines == grep_lines("ERROR", lines)
+            assert reader.decompress_all() == lines
+
+    def test_matches_batch_compression(self):
+        """Streaming produces exactly the blocks batch compression would."""
+        from repro import LogGrep
+
+        lines = make_mixed_lines(600, seed=9)
+        batch = LogGrep(store=MemoryStore(), config=CONFIG)
+        batch.compress(lines)
+
+        store = MemoryStore()
+        with StreamingCompressor(store=store, config=CONFIG) as stream:
+            stream.extend(lines)
+        assert store.names() == batch.store.names()
+        for name in store.names():
+            assert store.get(name) == batch.store.get(name)
+
+    def test_incremental_flush(self):
+        lines = make_mixed_lines(400, seed=4)
+        stream = StreamingCompressor(config=CONFIG)
+        stream.extend(lines[:200])
+        stream.flush()
+        reader = stream.open_reader()
+        first = reader.grep("ERROR").count
+        stream.extend(lines[200:])
+        report = stream.close()
+        assert report.blocks >= 1
+        reader = stream.open_reader()
+        assert reader.grep("ERROR").lines == grep_lines("ERROR", lines)
+        assert reader.grep("ERROR").count >= first
+
+    def test_append_after_close_rejected(self):
+        stream = StreamingCompressor(config=CONFIG)
+        stream.close()
+        with pytest.raises(RuntimeError):
+            stream.append("x")
+
+    def test_backlog_observable(self):
+        stream = StreamingCompressor(config=CONFIG, pipeline_depth=1)
+        assert stream.backlog == 0
+        stream.extend(make_mixed_lines(300))
+        stream.close()
+        assert stream.backlog == 0
+
+    def test_pipeline_depth_validation(self):
+        with pytest.raises(ValueError):
+            StreamingCompressor(pipeline_depth=0)
+
+    def test_empty_stream(self):
+        with StreamingCompressor(config=CONFIG) as stream:
+            report = stream.flush()
+        assert report.blocks == 0
+        assert report.raw_bytes == 0
+
+
+class TestProfiler:
+    def test_stage_breakdown(self):
+        lines = make_mixed_lines(600, seed=7)
+        profile = profile_compression(lines)
+        assert profile.total_seconds > 0
+        assert profile.parse_seconds > 0
+        assert profile.raw_bytes == sum(len(l) + 1 for l in lines)
+        assert 0 < profile.compressed_bytes < profile.raw_bytes
+        assert sum(profile.vectors.values()) > 0
+        assert len(profile.breakdown()) == 5
+
+    def test_ablation_shifts_stages(self):
+        lines = make_mixed_lines(600, seed=7)
+        full = profile_compression(lines)
+        without_real = profile_compression(lines, ablated("w/o real"))
+        # With real-vector extraction disabled those vectors become plain.
+        assert without_real.vectors["real"] == 0
+        assert without_real.vectors["plain"] >= full.vectors["plain"]
+
+    def test_profile_size_matches_compressor(self):
+        from repro.blockstore.block import LogBlock
+        from repro.core.compressor import compress_block
+
+        lines = make_mixed_lines(300, seed=8)
+        profile = profile_compression(lines)
+        direct = compress_block(LogBlock(0, 0, lines), LogGrepConfig()).serialize()
+        assert profile.compressed_bytes == len(direct)

@@ -1,0 +1,60 @@
+"""Tests for the token model and deterministic sampling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.sampling import MIN_SAMPLE, sample
+from repro.common.tokenizer import is_single_token, join_tokens, tokenize
+
+
+class TestTokenizer:
+    def test_basic(self):
+        assert tokenize("a b c") == ["a", "b", "c"]
+
+    def test_empty_line(self):
+        assert tokenize("") == [""]
+
+    def test_double_space_preserved(self):
+        assert tokenize("a  b") == ["a", "", "b"]
+
+    @given(st.text(alphabet=st.characters(blacklist_characters="\n"), max_size=80))
+    def test_lossless_roundtrip(self, line):
+        assert join_tokens(tokenize(line)) == line
+
+    def test_is_single_token(self):
+        assert is_single_token("abc:def")
+        assert not is_single_token("a b")
+
+
+class TestSampling:
+    def test_deterministic(self):
+        values = [str(i) for i in range(1000)]
+        assert sample(values, 0.05, seed=7) == sample(values, 0.05, seed=7)
+
+    def test_different_seeds_differ(self):
+        values = [str(i) for i in range(5000)]
+        assert sample(values, 0.05, seed=1) != sample(values, 0.05, seed=2)
+
+    def test_minimum_sample(self):
+        values = [str(i) for i in range(40)]
+        assert len(sample(values, 0.05, seed=0)) >= min(MIN_SAMPLE, len(values))
+
+    def test_small_input_returned_whole(self):
+        values = ["a", "b", "c"]
+        assert sample(values, 0.05, seed=0) == values
+
+    def test_preserves_order(self):
+        values = [str(i) for i in range(2000)]
+        picked = sample(values, 0.05, seed=3)
+        assert picked == sorted(picked, key=int)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            sample(["a"], 0.0, seed=0)
+        with pytest.raises(ValueError):
+            sample(["a"], 1.5, seed=0)
+
+    def test_rate_one_returns_all(self):
+        values = [str(i) for i in range(100)]
+        assert sample(values, 1.0, seed=0) == values

@@ -1,0 +1,133 @@
+"""Tests for the synthetic dataset suite (the paper's 21 + 16 logs)."""
+
+import random
+
+import pytest
+
+from repro.baselines.evalutil import grep_lines
+from repro.workloads import (
+    all_specs,
+    production_specs,
+    public_specs,
+    spec_by_name,
+)
+from repro.workloads.fields import (
+    Compose,
+    Enum,
+    HexId,
+    IPv4,
+    Literal,
+    Number,
+    Path,
+    PrefixedId,
+    Sometimes,
+    TimeHMS,
+    Timestamp,
+    Word,
+)
+
+
+class TestSuiteShape:
+    def test_counts(self):
+        assert len(production_specs()) == 21
+        assert len(public_specs()) == 16
+        assert len(all_specs()) == 37
+
+    def test_unique_names(self):
+        names = [spec.name for spec in all_specs()]
+        assert len(set(names)) == len(names)
+
+    def test_spec_by_name(self):
+        assert spec_by_name("Log T").size_factor > 1
+        with pytest.raises(KeyError):
+            spec_by_name("Log Z")
+
+    def test_log_t_is_volume_outlier(self):
+        sizes = {spec.name: len(spec.generate(500)) for spec in production_specs()}
+        assert sizes["Log T"] == max(sizes.values())
+
+
+@pytest.mark.parametrize("spec", all_specs(), ids=lambda s: s.name)
+class TestEverySpec:
+    def test_deterministic(self, spec):
+        assert spec.generate(300) == spec.generate(300)
+
+    def test_query_selective_but_nonempty(self, spec):
+        lines = spec.generate(1200)
+        hits = grep_lines(spec.query, lines)
+        assert 0 < len(hits) < 0.25 * len(lines)
+
+    def test_templates_and_fields_consistent(self, spec):
+        for template in spec.templates:
+            assert template.template.count("{}") == len(template.fields)
+
+    def test_no_nul_or_newline(self, spec):
+        for line in spec.generate(200):
+            assert "\x00" not in line
+            assert "\n" not in line
+
+
+class TestFields:
+    def setup_method(self):
+        self.rng = random.Random(0)
+
+    def test_timestamp_monotone_prefix(self):
+        ts = Timestamp(date="2021-01-01")
+        values = [ts(self.rng, i) for i in range(50)]
+        assert all(v.startswith("2021-01-01 ") for v in values)
+
+    def test_hexid_shared_prefix(self):
+        field = HexId(16, shared_prefix_len=4)
+        values = [field(self.rng, i) for i in range(20)]
+        prefixes = {v[:4] for v in values}
+        assert len(prefixes) == 1
+        assert all(len(v) == 16 for v in values)
+
+    def test_ipv4_subnet(self):
+        field = IPv4("11.187")
+        assert all(field(self.rng, i).startswith("11.187.") for i in range(20))
+
+    def test_ipv4_port(self):
+        field = IPv4("10.0", port=True)
+        assert ":" in field(self.rng, 0)
+
+    def test_path_root(self):
+        field = Path(root="/var/data")
+        assert field(self.rng, 0).startswith("/var/data/")
+
+    def test_enum_weights(self):
+        field = Enum(["a", "b"], [1, 0])
+        assert {field(self.rng, i) for i in range(20)} == {"a"}
+
+    def test_number_fmt(self):
+        field = Number(0, 10, "03d")
+        assert all(len(field(self.rng, i)) == 3 for i in range(10))
+
+    def test_number_hex_fmt(self):
+        field = Number(255, 256, "02x")
+        assert field(self.rng, 0) == "ff"
+
+    def test_prefixed_id(self):
+        field = PrefixedId("blk_", 6)
+        value = field(self.rng, 0)
+        assert value.startswith("blk_") and len(value) == 10
+
+    def test_literal_and_compose(self):
+        field = Compose("exchange-client-", Number(5, 6))
+        assert field(self.rng, 0) == "exchange-client-5"
+        assert Literal("x")(self.rng, 0) == "x"
+
+    def test_sometimes(self):
+        field = Sometimes("SPECIAL", Literal("base"), p=1.0)
+        assert field(self.rng, 0) == "SPECIAL"
+        never = Sometimes("SPECIAL", Literal("base"), p=0.0)
+        assert never(self.rng, 0) == "base"
+
+    def test_timehms(self):
+        field = TimeHMS(9, 10)
+        value = field(self.rng, 0)
+        assert value.startswith("09:")
+        assert len(value) == 8
+
+    def test_word(self):
+        assert Word(["only"])(self.rng, 0) == "only"
