@@ -2,24 +2,26 @@
 
 §8 notes "there is still room to improve the compression speed of
 LogGrep".  This profiler breaks one block's compression into the Fig 2
-stages — Parser, Extractor+Assembler (per vector kind), Packer/serializer
-— so the bench suite can show *where* the ingest time goes and how the
-ablations shift it.
+stages — Parser, classifier, Extractor+Assembler (per vector kind),
+Packer/serializer — so the bench suite can show *where* the ingest time
+goes and how the ablations shift it.
+
+Since the observability layer landed, the profiler is a thin reader over
+the same spans every traced compression produces (`repro.obs`): it runs
+``compress_block`` under a private Tracer and aggregates the ``parse`` /
+``classify`` / ``encode`` / ``serialize`` spans, so there is exactly one
+timing truth shared with ``loggrep grep --trace`` and the bench reports.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..blockstore.block import LogBlock
-from ..capsule.assembler import encode_vector
-from ..capsule.box import CapsuleBox, GroupBox
-from ..core.compressor import _vector_seed
+from ..core.compressor import compress_block
 from ..core.config import LogGrepConfig
-from ..runtime.classify import VectorKind, classify
-from ..staticparse.parser import BlockParser
+from ..obs.trace import tracing
 
 
 @dataclass
@@ -34,11 +36,13 @@ class CompressionProfile:
     raw_bytes: int
     compressed_bytes: int
     vectors: Dict[str, int] = field(default_factory=dict)
+    classify_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
         return (
             self.parse_seconds
+            + self.classify_seconds
             + self.encode_real_seconds
             + self.encode_nominal_seconds
             + self.encode_plain_seconds
@@ -50,6 +54,7 @@ class CompressionProfile:
         rows = []
         for label, seconds in (
             ("parse (static patterns)", self.parse_seconds),
+            ("classify vectors", self.classify_seconds),
             ("encode real vectors", self.encode_real_seconds),
             ("encode nominal vectors", self.encode_nominal_seconds),
             ("encode plain vectors", self.encode_plain_seconds),
@@ -62,50 +67,33 @@ class CompressionProfile:
 def profile_compression(
     lines: Sequence[str], config: Optional[LogGrepConfig] = None
 ) -> CompressionProfile:
-    """Compress *lines* as one block, timing each Fig 2 stage."""
+    """Compress *lines* as one block, timing each Fig 2 stage via spans."""
     config = config or LogGrepConfig()
     block = LogBlock(0, 0, list(lines))
 
-    start = time.perf_counter()
-    parser = BlockParser(
-        sample_rate=config.sample_rate,
-        similarity=config.similarity,
-        seed=config.seed,
-    )
-    parsed = parser.parse(block.lines)
-    parse_seconds = time.perf_counter() - start
+    with tracing() as tracer:
+        with tracer.span("compress.block") as root:
+            box = compress_block(block, config)
+            with tracer.span("serialize"):
+                data = box.serialize()
 
-    encode_seconds = {VectorKind.REAL: 0.0, VectorKind.NOMINAL: 0.0, "plain": 0.0}
+    encode_seconds = {"real": 0.0, "nominal": 0.0, "plain": 0.0}
     vector_counts = {"real": 0, "nominal": 0, "plain": 0}
-    groups = []
-    for group_idx, group in enumerate(parsed.groups):
-        vectors = []
-        for var_idx, vector in enumerate(group.variable_vectors):
-            seed = _vector_seed(config.seed, 0, group_idx, var_idx)
-            options = config.encoding_options(seed)
-            kind = classify(vector, config.duplication_threshold)
-            uses_patterns = (
-                kind is VectorKind.REAL and options.use_real_patterns
-            ) or (kind is VectorKind.NOMINAL and options.use_nominal_patterns)
-            bucket = kind if uses_patterns else "plain"
-            t0 = time.perf_counter()
-            vectors.append(encode_vector(vector, options))
-            encode_seconds[bucket] += time.perf_counter() - t0
-            vector_counts[
-                kind.value if uses_patterns else "plain"
-            ] += 1
-        groups.append(GroupBox(group.template, group.line_ids, vectors))
+    for span in root.find("encode"):
+        bucket = span.attrs.get("bucket", "plain")
+        encode_seconds[bucket] += span.seconds
+        vector_counts[bucket] += 1
 
-    t0 = time.perf_counter()
-    data = CapsuleBox(0, 0, block.num_lines, config.use_padding, groups).serialize()
-    serialize_seconds = time.perf_counter() - t0
+    def stage(name: str) -> float:
+        return sum(span.seconds for span in root.find(name))
 
     return CompressionProfile(
-        parse_seconds=parse_seconds,
-        encode_real_seconds=encode_seconds[VectorKind.REAL],
-        encode_nominal_seconds=encode_seconds[VectorKind.NOMINAL],
+        parse_seconds=stage("parse"),
+        classify_seconds=stage("classify"),
+        encode_real_seconds=encode_seconds["real"],
+        encode_nominal_seconds=encode_seconds["nominal"],
         encode_plain_seconds=encode_seconds["plain"],
-        serialize_seconds=serialize_seconds,
+        serialize_seconds=stage("serialize"),
         raw_bytes=block.raw_bytes,
         compressed_bytes=len(data),
         vectors=vector_counts,

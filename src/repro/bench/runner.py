@@ -11,7 +11,7 @@ runtime for fidelity; relative dataset sizes follow each spec's
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..baselines.base import LogStoreSystem
@@ -64,6 +64,9 @@ class Measurement:
     query_latency_s: float
     hits: int
     query: str
+    #: Seconds per query stage (plan/block_filter/locate/reconstruct/...),
+    #: recorded from one traced run for systems built on LogGrep.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def query_latency_s_per_tb(self) -> float:
@@ -88,6 +91,16 @@ def measure_system(
         got, elapsed = system.timed_query(spec.query)
         hits = got
         best = min(best, elapsed)
+    # One extra traced run (outside the timed loop, so the latency numbers
+    # stay untraced) yields the per-stage breakdown for LogGrep-backed
+    # systems; the comparators have no span instrumentation.
+    stage_seconds: Dict[str, float] = {}
+    if getattr(system, "loggrep", None) is not None:
+        from ..obs.trace import stage_totals, tracing
+
+        with tracing() as tracer:
+            system.query(spec.query)
+        stage_seconds = stage_totals(tracer.last_root())
     return Measurement(
         dataset=spec.name,
         system=system.name,
@@ -98,6 +111,7 @@ def measure_system(
         query_latency_s=best,
         hits=len(hits),
         query=spec.query,
+        stage_seconds=stage_seconds,
     )
 
 

@@ -13,6 +13,21 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterator, List
 
+from ..obs.metrics import get_registry
+
+_READS = get_registry().counter(
+    "loggrep_store_reads_total", "Blob reads from the archive store"
+)
+_READ_BYTES = get_registry().counter(
+    "loggrep_store_read_bytes_total", "Bytes read from the archive store"
+)
+_WRITES = get_registry().counter(
+    "loggrep_store_writes_total", "Blob writes to the archive store"
+)
+_WRITE_BYTES = get_registry().counter(
+    "loggrep_store_write_bytes_total", "Bytes written to the archive store"
+)
+
 
 class ArchiveStore:
     """Named blob storage rooted at a directory."""
@@ -27,12 +42,17 @@ class ArchiveStore:
         return os.path.join(self.root, name)
 
     def put(self, name: str, data: bytes) -> None:
+        _WRITES.inc()
+        _WRITE_BYTES.inc(len(data))
         with open(self._path(name), "wb") as fh:
             fh.write(data)
 
     def get(self, name: str) -> bytes:
+        _READS.inc()
         with open(self._path(name), "rb") as fh:
-            return fh.read()
+            data = fh.read()
+        _READ_BYTES.inc(len(data))
+        return data
 
     def exists(self, name: str) -> bool:
         return os.path.exists(self._path(name))
@@ -61,10 +81,15 @@ class MemoryStore(ArchiveStore):
         self.root = "<memory>"
 
     def put(self, name: str, data: bytes) -> None:
+        _WRITES.inc()
+        _WRITE_BYTES.inc(len(data))
         self._blobs[name] = bytes(data)
 
     def get(self, name: str) -> bytes:
-        return self._blobs[name]
+        data = self._blobs[name]
+        _READS.inc()
+        _READ_BYTES.inc(len(data))
+        return data
 
     def exists(self, name: str) -> bool:
         return name in self._blobs

@@ -105,11 +105,18 @@ EncodedVector = Union[RealEncodedVector, NominalEncodedVector, PlainEncodedVecto
 
 
 def encode_vector(
-    values: Sequence[str], options: Optional[EncodingOptions] = None
+    values: Sequence[str],
+    options: Optional[EncodingOptions] = None,
+    kind: Optional[VectorKind] = None,
 ) -> EncodedVector:
-    """Encapsulate one variable vector (§4.2)."""
+    """Encapsulate one variable vector (§4.2).
+
+    ``kind`` lets a caller that already classified the vector (the
+    compressor does, under its ``classify`` span) skip re-classification.
+    """
     options = options or EncodingOptions()
-    kind = classify(values, options.duplication_threshold)
+    if kind is None:
+        kind = classify(values, options.duplication_threshold)
     if kind is VectorKind.REAL and options.use_real_patterns:
         return _encode_real(values, options)
     if kind is VectorKind.NOMINAL and options.use_nominal_patterns:

@@ -221,6 +221,11 @@ class Capsule:
     def compressed_bytes(self) -> int:
         return len(self.payload)
 
+    @property
+    def is_decompressed(self) -> bool:
+        """True once :meth:`plain` has inflated (and cached) the payload."""
+        return self._plain is not None
+
     def verify_payload(self) -> bool:
         """Check the payload against its recorded CRC32.
 

@@ -1,16 +1,19 @@
-"""Command-line interface: ``loggrep compress/grep/stats/report``.
+"""Command-line interface: ``loggrep compress/grep/stats/metrics/report``.
 
 Examples::
 
     loggrep compress app.log -a /tmp/archive
     loggrep grep -a /tmp/archive "ERROR AND dst:11.8.* NOT state:503"
-    loggrep stats -a /tmp/archive
+    loggrep grep -a /tmp/archive ERROR --trace       # span tree to stderr
+    loggrep stats -a /tmp/archive --json
+    loggrep metrics -a /tmp/archive -q ERROR         # Prometheus text format
     loggrep report            # regenerate EXPERIMENTS.md (slow)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -45,9 +48,32 @@ def _build_parser() -> argparse.ArgumentParser:
     grep.add_argument("-c", "--count", action="store_true", help="print only the hit count")
     grep.add_argument("-i", "--ignore-case", action="store_true", help="case-insensitive match")
     grep.add_argument("--stats", action="store_true", help="print execution statistics")
+    grep.add_argument(
+        "--json", action="store_true",
+        help="with --stats: emit the statistics as JSON (stderr)",
+    )
+    grep.add_argument(
+        "--trace", action="store_true",
+        help="trace the query and print the span tree with per-stage "
+        "percentages to stderr",
+    )
 
     stats = sub.add_parser("stats", help="show archive statistics")
     stats.add_argument("-a", "--archive", required=True, help="archive directory")
+    stats.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    metrics = sub.add_parser(
+        "metrics", help="dump the process metrics registry (Prometheus or JSON)"
+    )
+    metrics.add_argument("-a", "--archive", required=True, help="archive directory")
+    metrics.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="export format (default: prometheus text format)",
+    )
+    metrics.add_argument(
+        "-q", "--query", metavar="QUERY",
+        help="run this query first so query metrics are populated",
+    )
 
     analyze = sub.add_parser(
         "analyze", help="structure-based aggregation without reconstruction"
@@ -99,39 +125,94 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "grep":
         lg = _open(args.archive)
-        if args.count and not args.stats:
+        if args.count and not args.stats and not args.trace:
             # Counting skips reconstruction entirely (grep -c fast path).
             print(lg.count(args.query, ignore_case=args.ignore_case))
             return 0
-        result = lg.grep(args.query, ignore_case=args.ignore_case)
+        if args.trace:
+            from .obs import render_span_tree, tracing
+
+            with tracing() as tracer:
+                result = lg.grep(args.query, ignore_case=args.ignore_case)
+            root = tracer.last_root()
+        else:
+            result = lg.grep(args.query, ignore_case=args.ignore_case)
         if args.count:
             print(result.count)
         else:
             for line in result.lines:
                 print(line)
+        if args.trace:
+            print(render_span_tree(root), file=sys.stderr)
         if args.stats:
-            print(
-                f"# {result.count} hit(s) in {result.elapsed * 1000:.1f} ms; "
-                f"capsules decompressed: {result.stats.capsules_decompressed}, "
-                f"filtered: {result.stats.capsules_filtered}",
-                file=sys.stderr,
-            )
+            if args.json:
+                doc = {
+                    "query": args.query,
+                    "hits": result.count,
+                    "elapsed_ms": result.elapsed * 1000,
+                    "stats": result.stats.as_dict(),
+                }
+                print(json.dumps(doc, indent=2), file=sys.stderr)
+            else:
+                print(
+                    f"# {result.count} hit(s) in {result.elapsed * 1000:.1f} ms; "
+                    f"capsules decompressed: {result.stats.capsules_decompressed}, "
+                    f"filtered: {result.stats.capsules_filtered}",
+                    file=sys.stderr,
+                )
         return 0
 
     if args.command == "stats":
         store = ArchiveStore(args.archive)
         from .capsule.box import CapsuleBox
 
+        blocks = []
         total = 0
         for name in store.names():
             box = CapsuleBox.deserialize(store.get(name))
-            payload = box.payload_bytes()
             total += box.num_lines
+            blocks.append(
+                {
+                    "name": name,
+                    "lines": box.num_lines,
+                    "groups": len(box.groups),
+                    "capsules": box.capsule_count(),
+                    "payload_bytes": box.payload_bytes(),
+                }
+            )
+        if args.json:
+            doc = {
+                "blocks": blocks,
+                "total_lines": total,
+                "stored_bytes": store.total_bytes(),
+            }
+            print(json.dumps(doc, indent=2))
+            return 0
+        for b in blocks:
             print(
-                f"{name}: {box.num_lines} lines, {len(box.groups)} groups, "
-                f"{box.capsule_count()} capsules, {payload} payload bytes"
+                f"{b['name']}: {b['lines']} lines, {b['groups']} groups, "
+                f"{b['capsules']} capsules, {b['payload_bytes']} payload bytes"
             )
         print(f"total: {total} lines, {store.total_bytes()} stored bytes")
+        return 0
+
+    if args.command == "metrics":
+        from .obs import get_registry
+
+        lg = _open(args.archive)
+        registry = get_registry()
+        registry.gauge(
+            "loggrep_store_bytes", "Total stored bytes of the archive"
+        ).set(lg.storage_bytes())
+        registry.gauge(
+            "loggrep_store_blocks", "Blocks in the archive"
+        ).set(len(lg.store.names()))
+        if args.query:
+            lg.grep(args.query)
+        if args.format == "json":
+            print(registry.to_json(indent=2))
+        else:
+            print(registry.to_prometheus(), end="")
         return 0
 
     if args.command == "explain":

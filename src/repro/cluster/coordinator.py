@@ -27,6 +27,7 @@ from ..blockstore.block import split_lines
 from ..common.errors import ReproError
 from ..core.config import LogGrepConfig
 from ..core.loggrep import GrepResult
+from ..obs.trace import get_tracer
 from ..query.language import parse_query
 from ..query.stats import QueryStats
 from .node import NodeDownError, WorkerNode
@@ -100,18 +101,27 @@ class ClusterLogGrep:
             self.raw_bytes += block.raw_bytes
             blocks.append(block)
 
-        def ingest_one(block) -> None:
-            name = f"block-{block.block_id:08d}.lgcb"
-            replicas = replica_nodes(name, self._alive_ids(), self.replication)
-            if not replicas:
-                raise ClusterError("no alive node to ingest into")
-            primary = self.nodes[replicas[0]]
-            name, data = primary.compress_and_store(block)
-            for replica_id in replicas[1:]:
-                self.nodes[replica_id].store_replica(name, data)
-            self._placement[name] = replicas
+        tracer = get_tracer()
+        with tracer.span("cluster.compress", blocks=len(blocks)) as cspan:
+            def ingest_one(block) -> None:
+                name = f"block-{block.block_id:08d}.lgcb"
+                replicas = replica_nodes(name, self._alive_ids(), self.replication)
+                if not replicas:
+                    raise ClusterError("no alive node to ingest into")
+                with tracer.span(
+                    "cluster.ingest_block",
+                    parent=cspan,
+                    block=name,
+                    node=replicas[0],
+                ) as ispan:
+                    primary = self.nodes[replicas[0]]
+                    name, data = primary.compress_and_store(block)
+                    for replica_id in replicas[1:]:
+                        self.nodes[replica_id].store_replica(name, data)
+                    self._placement[name] = replicas
+                    ispan.set("replicas", len(replicas))
 
-        list(self._pool.map(ingest_one, blocks))
+            list(self._pool.map(ingest_one, blocks))
 
     # ------------------------------------------------------------------
     # query
@@ -120,23 +130,38 @@ class ClusterLogGrep:
         """Scatter the query to one alive replica per block, gather, merge."""
         import time
 
+        tracer = get_tracer()
         start = time.perf_counter()
-        parsed = parse_query(command, ignore_case)
         stats = QueryStats()
-
-        def query_one(name: str) -> List[Tuple[int, str]]:
-            entries, _, block_stats = self._on_replica(
-                name, lambda node: node.query_block(name, parsed, reconstruct=True)
-            )
-            stats.merge(block_stats)
-            return entries
-
         all_entries: List[Tuple[int, str]] = []
-        for entries in self._pool.map(query_one, sorted(self._placement)):
-            all_entries.extend(entries)
-        all_entries.sort(key=lambda item: item[0])
-        stats.entries_matched = len(all_entries)
+        with tracer.span("cluster.query", command=command) as qspan:
+            with tracer.span("plan"):
+                parsed = parse_query(command, ignore_case)
+
+            with tracer.span("cluster.fan_out") as fan:
+                def query_one(name: str) -> List[Tuple[int, str]]:
+                    with tracer.span(
+                        "cluster.query_block", parent=fan, block=name
+                    ) as bspan:
+                        def run(node):
+                            bspan.set("node", node.node_id)
+                            return node.query_block(name, parsed, reconstruct=True)
+
+                        entries, _, block_stats = self._on_replica(name, run)
+                        bspan.set("entries", len(entries))
+                    stats.merge(block_stats)
+                    return entries
+
+                for entries in self._pool.map(query_one, sorted(self._placement)):
+                    all_entries.extend(entries)
+
+            with tracer.span("cluster.merge"):
+                all_entries.sort(key=lambda item: item[0])
+            stats.entries_matched = len(all_entries)
+            qspan.set("blocks", len(self._placement))
+            qspan.set("entries_matched", stats.entries_matched)
         elapsed = time.perf_counter() - start
+        stats.publish(elapsed)
         return GrepResult(
             [text for _, text in all_entries],
             [line_id for line_id, _ in all_entries],

@@ -19,9 +19,18 @@ from ..common.errors import ReproError
 from ..core.compressor import compress_block
 from ..core.config import LogGrepConfig
 from ..core.reconstructor import BlockReconstructor
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..query.engine import BlockEngine
 from ..query.language import QueryCommand
 from ..query.stats import QueryStats
+
+_NODE_QUERIES = get_registry().counter(
+    "loggrep_cluster_node_queries_total", "Block queries served, per node"
+)
+_NODE_BLOCKS = get_registry().counter(
+    "loggrep_cluster_node_blocks_compressed_total", "Blocks compressed, per node"
+)
 
 
 class NodeDownError(ReproError):
@@ -62,6 +71,7 @@ class WorkerNode:
         data = compress_block(block, self.config).serialize()
         self.store.put(name, data)
         self.blocks_compressed += 1
+        _NODE_BLOCKS.inc(node=self.node_id)
         return name, data
 
     def store_replica(self, name: str, data: bytes) -> None:
@@ -90,16 +100,22 @@ class WorkerNode:
         """
         self._check_alive()
         self.queries_served += 1
+        _NODE_QUERIES.inc(node=self.node_id)
+        tracer = get_tracer()
         stats = QueryStats()
         stats.blocks_visited = 1
         box = CapsuleBox.deserialize(self.store.get(name))
         engine = BlockEngine(box, self.config.query_settings(), stats)
-        hits = engine.execute(command)
+        with tracer.span("locate") as lspan:
+            hits = engine.execute(command)
+            lspan.set("groups_hit", len(hits))
         count = sum(len(rows) for rows in hits.values())
         entries: List[Tuple[int, str]] = []
         if reconstruct and hits:
-            reconstructor = BlockReconstructor(
-                box, self.config.query_settings(), stats, readers=engine._readers
-            )
-            entries = reconstructor.reconstruct(hits)
+            with tracer.span("reconstruct") as rspan:
+                reconstructor = BlockReconstructor(
+                    box, self.config.query_settings(), stats, readers=engine._readers
+                )
+                entries = reconstructor.reconstruct(hits)
+                rspan.set("entries", len(entries))
         return entries, count, stats

@@ -15,20 +15,40 @@ from ..blockstore.block import LogBlock
 from ..capsule.assembler import encode_vector
 from ..capsule.box import CapsuleBox, GroupBox
 from ..common.bloom import BloomFilter, trigrams
+from ..obs.trace import get_tracer
+from ..runtime.classify import VectorKind, classify
 from ..staticparse.parser import BlockParser
 from .config import LogGrepConfig
 
 
 def compress_block(block: LogBlock, config: Optional[LogGrepConfig] = None) -> CapsuleBox:
-    """Compress one log block into a CapsuleBox."""
+    """Compress one log block into a CapsuleBox.
+
+    When tracing is enabled, the Fig 2 stages appear as spans: ``parse``,
+    ``classify``, then one ``encode`` span per variable vector carrying its
+    kind and whether runtime patterns were used (the ``bucket`` attribute:
+    real / nominal / plain).
+    """
     config = config or LogGrepConfig()
-    parser = BlockParser(
-        sample_rate=config.sample_rate,
-        similarity=config.similarity,
-        seed=config.seed ^ block.block_id,
-        miner=config.parser,
-    )
-    parsed = parser.parse(block.lines)
+    tracer = get_tracer()
+    with tracer.span("parse") as pspan:
+        parser = BlockParser(
+            sample_rate=config.sample_rate,
+            similarity=config.similarity,
+            seed=config.seed ^ block.block_id,
+            miner=config.parser,
+        )
+        parsed = parser.parse(block.lines)
+        pspan.set("groups", len(parsed.groups))
+
+    with tracer.span("classify"):
+        kinds = [
+            [
+                classify(vector, config.duplication_threshold)
+                for vector in group.variable_vectors
+            ]
+            for group in parsed.groups
+        ]
 
     groups = []
     for group_idx, group in enumerate(parsed.groups):
@@ -38,15 +58,24 @@ def compress_block(block: LogBlock, config: Optional[LogGrepConfig] = None) -> C
             # probing independent across vectors but reproducible.
             seed = _vector_seed(config.seed, block.block_id, group_idx, var_idx)
             options = config.encoding_options(seed)
-            vectors.append(encode_vector(vector, options))
+            kind = kinds[group_idx][var_idx]
+            uses_patterns = (
+                kind is VectorKind.REAL and options.use_real_patterns
+            ) or (kind is VectorKind.NOMINAL and options.use_nominal_patterns)
+            bucket = kind.value if uses_patterns else "plain"
+            with tracer.span(
+                "encode", kind=kind.value, bucket=bucket, values=len(vector)
+            ):
+                vectors.append(encode_vector(vector, options, kind=kind))
         groups.append(GroupBox(group.template, group.line_ids, vectors))
 
     bloom = None
     if config.use_block_bloom:
-        grams = set()
-        for line in block.lines:
-            grams.update(trigrams(line))
-        bloom = BloomFilter.build(grams, config.bloom_bits_per_trigram)
+        with tracer.span("bloom"):
+            grams = set()
+            for line in block.lines:
+                grams.update(trigrams(line))
+            bloom = BloomFilter.build(grams, config.bloom_bits_per_trigram)
 
     return CapsuleBox(
         block_id=block.block_id,

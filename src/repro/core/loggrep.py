@@ -28,6 +28,8 @@ from ..blockstore.block import split_lines
 from ..blockstore.store import ArchiveStore, MemoryStore
 from ..capsule.box import CapsuleBox
 from ..common.rowset import RowSet
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..query.blockfilter import command_might_match
 from ..query.cache import QueryCache
 from ..query.engine import BlockEngine, GroupRows
@@ -92,26 +94,44 @@ class LogGrep:
     # ------------------------------------------------------------------
     def compress(self, lines: Iterable[str]) -> CompressionReport:
         """Split *lines* into blocks, compress each, persist CapsuleBoxes."""
+        tracer = get_tracer()
         start = time.perf_counter()
         blocks = 0
         raw = 0
         compressed = 0
-        for block in split_lines(lines, self.config.block_bytes):
-            block.block_id = self._next_block_id
-            block.first_line_id = self._next_line_id
-            self._next_block_id += 1
-            self._next_line_id += block.num_lines
-            name = self._block_name(block.block_id)
-            data = compress_block(block, self.config).serialize()
-            self.store.put(name, data)
-            self.cache.invalidate_block(name)
-            self._box_cache.pop(name, None)
-            blocks += 1
-            raw += block.raw_bytes
-            compressed += len(data)
+        with tracer.span("compress") as cspan:
+            for block in split_lines(lines, self.config.block_bytes):
+                block.block_id = self._next_block_id
+                block.first_line_id = self._next_line_id
+                self._next_block_id += 1
+                self._next_line_id += block.num_lines
+                name = self._block_name(block.block_id)
+                with tracer.span(
+                    "compress.block", block=name, raw_bytes=block.raw_bytes
+                ) as bspan:
+                    box = compress_block(block, self.config)
+                    with tracer.span("serialize"):
+                        data = box.serialize()
+                    bspan.set("compressed_bytes", len(data))
+                self.store.put(name, data)
+                self.cache.invalidate_block(name)
+                self._box_cache.pop(name, None)
+                blocks += 1
+                raw += block.raw_bytes
+                compressed += len(data)
+            cspan.set("blocks", blocks).set("raw_bytes", raw)
         elapsed = time.perf_counter() - start
         self.compress_seconds += elapsed
         self.raw_bytes += raw
+        registry = get_registry()
+        registry.counter("loggrep_compress_blocks_total", "Blocks compressed").inc(blocks)
+        registry.counter("loggrep_compress_raw_bytes_total", "Raw bytes ingested").inc(raw)
+        registry.counter(
+            "loggrep_compress_stored_bytes_total", "Compressed bytes produced"
+        ).inc(compressed)
+        registry.histogram(
+            "loggrep_compress_seconds", "Wall-clock of compress() calls"
+        ).observe(elapsed)
         report = CompressionReport(blocks, raw, compressed, elapsed)
         logger.debug(
             "compressed %d block(s): %d -> %d bytes (%.2fx) in %.3fs",
@@ -138,27 +158,39 @@ class LogGrep:
         ``ignore_case`` applies grep ``-i`` semantics (an extension; the
         paper's queries are case-sensitive).
         """
+        tracer = get_tracer()
         start = time.perf_counter()
-        parsed = parse_query(command, ignore_case)
         stats = QueryStats()
         entries: List[Tuple[int, str]] = []
-        names = self.store.names()
-        if self.config.query_parallelism > 1 and len(names) > 1:
-            from concurrent.futures import ThreadPoolExecutor
+        with tracer.span("query", command=command) as qspan:
+            with tracer.span("plan"):
+                parsed = parse_query(command, ignore_case)
+            names = self.store.names()
+            if self.config.query_parallelism > 1 and len(names) > 1:
+                from concurrent.futures import ThreadPoolExecutor
 
-            with ThreadPoolExecutor(self.config.query_parallelism) as pool:
-                for block_entries in pool.map(
-                    lambda name: self._grep_block(name, parsed, QueryStats()),
-                    names,
-                ):
-                    entries.extend(block_entries)
-            stats.blocks_visited = len(names)
-        else:
-            for name in names:
-                entries.extend(self._grep_block(name, parsed, stats))
-        entries.sort(key=lambda item: item[0])
-        stats.entries_matched = len(entries)
+                with ThreadPoolExecutor(self.config.query_parallelism) as pool:
+                    def run_one(name):
+                        block_stats = QueryStats()
+                        found = self._grep_block(
+                            name, parsed, block_stats, parent=qspan
+                        )
+                        return found, block_stats
+
+                    for block_entries, block_stats in pool.map(run_one, names):
+                        entries.extend(block_entries)
+                        stats.merge(block_stats)
+            else:
+                for name in names:
+                    entries.extend(self._grep_block(name, parsed, stats))
+            entries.sort(key=lambda item: item[0])
+            stats.entries_matched = len(entries)
+            qspan.set("blocks", len(names))
+            qspan.set("entries_matched", stats.entries_matched)
+            qspan.set("capsules_decompressed", stats.capsules_decompressed)
+            qspan.set("bytes_decompressed", stats.bytes_decompressed)
         elapsed = time.perf_counter() - start
+        stats.publish(elapsed)
         logger.debug(
             "grep %r: %d hit(s) in %.1fms (%d capsules opened, %d filtered, "
             "%d blocks pruned)",
@@ -180,33 +212,54 @@ class LogGrep:
         group is decompressed beyond what matching required — much cheaper
         than :meth:`grep` for large result sets (grep -c).
         """
-        parsed = parse_query(command, ignore_case)
+        tracer = get_tracer()
+        start = time.perf_counter()
         stats = QueryStats()
         total = 0
-        for name in self.store.names():
-            hits, _, _ = self._locate_block(name, parsed, stats)
-            total += sum(len(rows) for rows in hits.values())
+        with tracer.span("query", command=command, mode="count") as qspan:
+            with tracer.span("plan"):
+                parsed = parse_query(command, ignore_case)
+            for name in self.store.names():
+                with tracer.span("block", block=name):
+                    hits, _, _ = self._locate_block(name, parsed, stats)
+                    total += sum(len(rows) for rows in hits.values())
+            qspan.set("entries_matched", total)
+        stats.entries_matched = total
+        stats.publish(time.perf_counter() - start)
         return total
 
     def _grep_block(
-        self, name: str, command: QueryCommand, stats: QueryStats
+        self,
+        name: str,
+        command: QueryCommand,
+        stats: QueryStats,
+        parent=None,
     ) -> List[Tuple[int, str]]:
-        hits, box, engine = self._locate_block(name, command, stats)
-        if not hits:
-            return []
-        reconstructor = BlockReconstructor(
-            box, self.config.query_settings(), stats, readers=engine._readers
-        )
-        return reconstructor.reconstruct(hits)
+        tracer = get_tracer()
+        with tracer.span("block", parent=parent, block=name):
+            hits, box, engine = self._locate_block(name, command, stats)
+            if not hits:
+                return []
+            with tracer.span("reconstruct") as rspan:
+                reconstructor = BlockReconstructor(
+                    box, self.config.query_settings(), stats, readers=engine._readers
+                )
+                entries = reconstructor.reconstruct(hits)
+                rspan.set("entries", len(entries))
+            return entries
 
     def _locate_block(self, name: str, command: QueryCommand, stats: QueryStats):
+        tracer = get_tracer()
         stats.blocks_visited += 1
         if self.config.use_block_bloom and name not in self._box_cache:
             # The Bloom filter sits before the metadata section, so pruning
             # never pays the box deserialization.
-            data = self.store.get(name)
-            bloom = CapsuleBox.read_bloom(data)
-            if bloom is not None and not command_might_match(bloom, command):
+            with tracer.span("block_filter") as fspan:
+                data = self.store.get(name)
+                bloom = CapsuleBox.read_bloom(data)
+                pruned = bloom is not None and not command_might_match(bloom, command)
+                fspan.set("pruned", pruned)
+            if pruned:
                 stats.blocks_pruned += 1
                 return {}, None, None
             box = CapsuleBox.deserialize(data)
@@ -215,17 +268,21 @@ class LogGrep:
         engine = BlockEngine(box, self.config.query_settings(), stats)
 
         def resolver(search) -> GroupRows:
-            if self.config.use_query_cache:
-                cached = self.cache.get(name, search.cache_key)
-                if cached is not None:
-                    stats.cache_hits += 1
-                    return cached
-            rows = engine.search_string_rows(search)
-            if self.config.use_query_cache:
-                self.cache.put(name, search.cache_key, rows)
-            return rows
+            with tracer.span("match", search=search.cache_key) as mspan:
+                if self.config.use_query_cache:
+                    cached = self.cache.get(name, search.cache_key)
+                    if cached is not None:
+                        stats.cache_hits += 1
+                        mspan.set("cache_hit", True)
+                        return cached
+                rows = engine.search_string_rows(search)
+                if self.config.use_query_cache:
+                    self.cache.put(name, search.cache_key, rows)
+                return rows
 
-        hits = engine.execute(command, resolver)
+        with tracer.span("locate") as lspan:
+            hits = engine.execute(command, resolver)
+            lspan.set("groups_hit", len(hits))
         return hits, box, engine
 
     def _load_box(self, name: str) -> CapsuleBox:

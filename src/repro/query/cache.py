@@ -15,6 +15,20 @@ from collections import OrderedDict
 from typing import Dict, Optional
 
 from ..common.rowset import RowSet
+from ..obs.metrics import get_registry
+
+_HITS = get_registry().counter(
+    "loggrep_query_cache_hits_total", "Query cache lookups that hit"
+)
+_MISSES = get_registry().counter(
+    "loggrep_query_cache_misses_total", "Query cache lookups that missed"
+)
+_EVICTIONS = get_registry().counter(
+    "loggrep_query_cache_evictions_total", "Entries evicted by the LRU bound"
+)
+_ENTRIES = get_registry().gauge(
+    "loggrep_query_cache_entries", "Entries currently cached"
+)
 
 #: Block-level located rows (group index → row set).
 GroupRows = Dict[int, RowSet]
@@ -42,9 +56,11 @@ class QueryCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
+                _MISSES.inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            _HITS.inc()
             return entry
 
     def put(self, block_name: str, search_text: str, rows: GroupRows) -> None:
@@ -54,6 +70,8 @@ class QueryCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                _EVICTIONS.inc()
+            _ENTRIES.set(len(self._entries))
 
     def invalidate_block(self, block_name: str) -> None:
         """Drop all entries of one block (used when a block is rewritten)."""

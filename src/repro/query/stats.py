@@ -3,11 +3,21 @@
 The whole point of LogGrep is to *not* decompress Capsules; these counters
 make that observable.  Benchmarks and the filtering-efficacy tests assert
 on them, and `LogGrep.grep` returns them with every result.
+
+The counters are one half of the observability layer (`repro.obs`): every
+field is published into the process-wide MetricsRegistry after each query
+via :meth:`QueryStats.publish`, and :func:`touch_capsule` — the single
+choke point through which every Capsule decompression flows — emits a
+``decompress`` span so traced queries account for every byte inflated.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 
 
 @dataclass
@@ -26,20 +36,50 @@ class QueryStats:
     entries_matched: int = 0
 
     def merge(self, other: "QueryStats") -> None:
-        self.capsules_considered += other.capsules_considered
-        self.capsules_filtered += other.capsules_filtered
-        self.capsules_decompressed += other.capsules_decompressed
-        self.bytes_decompressed += other.bytes_decompressed
-        self.candidates_evaluated += other.candidates_evaluated
-        self.fallback_scans += other.fallback_scans
-        self.cache_hits += other.cache_hits
-        self.blocks_visited += other.blocks_visited
-        self.blocks_pruned += other.blocks_pruned
-        self.entries_matched += other.entries_matched
+        """Accumulate *other* field by field.
+
+        Iterates ``dataclasses.fields`` so a newly added counter can never
+        be silently dropped from aggregation.
+        """
+        for spec in dataclasses.fields(self):
+            setattr(
+                self,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def publish(self, elapsed: float) -> None:
+        """Record this query in the process-wide metrics registry."""
+        registry = get_registry()
+        registry.counter(
+            "loggrep_queries_total", "Queries executed"
+        ).inc()
+        registry.histogram(
+            "loggrep_query_seconds", "End-to-end query latency"
+        ).observe(elapsed)
+        for spec in dataclasses.fields(self):
+            registry.counter(
+                f"loggrep_query_{spec.name}_total",
+                f"QueryStats.{spec.name} summed over all queries",
+            ).inc(getattr(self, spec.name))
+        touched = self.capsules_filtered + self.capsules_decompressed
+        if touched:
+            registry.gauge(
+                "loggrep_capsule_filter_ratio",
+                "Fraction of capsules proven irrelevant without decompression "
+                "in the most recent query",
+            ).set(self.capsules_filtered / touched)
 
 
 def touch_capsule(capsule, stats: QueryStats) -> None:
     """Record a decompression if *capsule* has not been opened yet."""
-    if capsule._plain is None:  # noqa: SLF001 - deliberate peek at the cache
-        stats.capsules_decompressed += 1
-        stats.bytes_decompressed += len(capsule.plain())
+    if capsule.is_decompressed:
+        return
+    with get_tracer().span("decompress") as span:
+        data = capsule.plain()
+        span.set("bytes", len(data))
+    stats.capsules_decompressed += 1
+    stats.bytes_decompressed += len(data)

@@ -87,7 +87,7 @@ class TestProfiler:
         assert profile.raw_bytes == sum(len(l) + 1 for l in lines)
         assert 0 < profile.compressed_bytes < profile.raw_bytes
         assert sum(profile.vectors.values()) > 0
-        assert len(profile.breakdown()) == 5
+        assert len(profile.breakdown()) == 6  # parse/classify/3×encode/serialize
 
     def test_ablation_shifts_stages(self):
         lines = make_mixed_lines(600, seed=7)
