@@ -57,6 +57,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="trace the query and print the span tree with per-stage "
         "percentages to stderr",
     )
+    grep.add_argument(
+        "-j", "--parallelism", type=int, default=1, metavar="N",
+        help="query blocks on an N-thread pool (default: 1, serial)",
+    )
 
     stats = sub.add_parser("stats", help="show archive statistics")
     stats.add_argument("-a", "--archive", required=True, help="archive directory")
@@ -124,7 +128,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "grep":
-        lg = _open(args.archive)
+        lg = _open(args.archive, query_parallelism=args.parallelism)
         if args.count and not args.stats and not args.trace:
             # Counting skips reconstruction entirely (grep -c fast path).
             print(lg.count(args.query, ignore_case=args.ignore_case))

@@ -28,7 +28,7 @@ from ..common.errors import ReproError
 from ..core.config import LogGrepConfig
 from ..core.loggrep import GrepResult
 from ..obs.trace import get_tracer
-from ..query.language import parse_query
+from ..query.plan import OutputMode, build_plan
 from ..query.stats import QueryStats
 from .node import NodeDownError, WorkerNode
 from .placement import replica_nodes
@@ -127,7 +127,13 @@ class ClusterLogGrep:
     # query
     # ------------------------------------------------------------------
     def grep(self, command: str, ignore_case: bool = False) -> GrepResult:
-        """Scatter the query to one alive replica per block, gather, merge."""
+        """Scatter one pre-built plan to an alive replica per block, gather,
+        merge.
+
+        The command is parsed and planned exactly once; every node receives
+        the same :class:`~repro.query.plan.QueryPlan` instead of re-parsing
+        the raw string per block.
+        """
         import time
 
         tracer = get_tracer()
@@ -136,7 +142,7 @@ class ClusterLogGrep:
         all_entries: List[Tuple[int, str]] = []
         with tracer.span("cluster.query", command=command) as qspan:
             with tracer.span("plan"):
-                parsed = parse_query(command, ignore_case)
+                plan = build_plan(command, OutputMode.LINES, ignore_case)
 
             with tracer.span("cluster.fan_out") as fan:
                 def query_one(name: str) -> List[Tuple[int, str]]:
@@ -145,7 +151,7 @@ class ClusterLogGrep:
                     ) as bspan:
                         def run(node):
                             bspan.set("node", node.node_id)
-                            return node.query_block(name, parsed, reconstruct=True)
+                            return node.query_block(name, plan)
 
                         entries, _, block_stats = self._on_replica(name, run)
                         bspan.set("entries", len(entries))
@@ -170,11 +176,12 @@ class ClusterLogGrep:
         )
 
     def count(self, command: str, ignore_case: bool = False) -> int:
-        parsed = parse_query(command, ignore_case)
+        """Distributed count: the same plan with reconstruction elided."""
+        plan = build_plan(command, OutputMode.COUNT, ignore_case)
 
         def count_one(name: str) -> int:
             _, hit_count, _ = self._on_replica(
-                name, lambda node: node.query_block(name, parsed, reconstruct=False)
+                name, lambda node: node.query_block(name, plan)
             )
             return hit_count
 

@@ -14,15 +14,12 @@ from typing import List, Optional, Tuple
 
 from ..blockstore.block import LogBlock
 from ..blockstore.store import MemoryStore
-from ..capsule.box import CapsuleBox
 from ..common.errors import ReproError
 from ..core.compressor import compress_block
 from ..core.config import LogGrepConfig
-from ..core.reconstructor import BlockReconstructor
 from ..obs.metrics import get_registry
-from ..obs.trace import get_tracer
-from ..query.engine import BlockEngine
-from ..query.language import QueryCommand
+from ..query.executor import QueryExecutor, StoreBoxSource
+from ..query.plan import QueryPlan
 from ..query.stats import QueryStats
 
 _NODE_QUERIES = get_registry().counter(
@@ -47,6 +44,10 @@ class WorkerNode:
         self.alive = True
         self.queries_served = 0
         self.blocks_compressed = 0
+        # Each worker runs the same physical pipeline as a single-node
+        # LogGrep over its local replica store (no query cache: cluster
+        # queries are scattered, so refining locality lives coordinator-side).
+        self._executor = QueryExecutor(StoreBoxSource(self.store), self.config)
 
     # ------------------------------------------------------------------
     def _check_alive(self) -> None:
@@ -91,31 +92,19 @@ class WorkerNode:
     # query path
     # ------------------------------------------------------------------
     def query_block(
-        self, name: str, command: QueryCommand, reconstruct: bool = True
+        self, name: str, plan: QueryPlan
     ) -> Tuple[List[Tuple[int, str]], int, QueryStats]:
-        """Run *command* over one local block.
+        """Execute a pre-built *plan* over one local block.
 
-        Returns (entries, hit count, stats); *entries* is empty when
-        ``reconstruct`` is False (count-only queries).
+        The coordinator plans the command once and ships the plan; the
+        node runs the shared operator pipeline (BloomPrune → LoadBox →
+        Locate → Match → Reconstruct) over its replica.  Returns
+        (entries, hit count, stats); *entries* is empty for ``COUNT``
+        plans, whose reconstruction is elided.
         """
         self._check_alive()
         self.queries_served += 1
         _NODE_QUERIES.inc(node=self.node_id)
-        tracer = get_tracer()
         stats = QueryStats()
-        stats.blocks_visited = 1
-        box = CapsuleBox.deserialize(self.store.get(name))
-        engine = BlockEngine(box, self.config.query_settings(), stats)
-        with tracer.span("locate") as lspan:
-            hits = engine.execute(command)
-            lspan.set("groups_hit", len(hits))
-        count = sum(len(rows) for rows in hits.values())
-        entries: List[Tuple[int, str]] = []
-        if reconstruct and hits:
-            with tracer.span("reconstruct") as rspan:
-                reconstructor = BlockReconstructor(
-                    box, self.config.query_settings(), stats, readers=engine._readers
-                )
-                entries = reconstructor.reconstruct(hits)
-                rspan.set("entries", len(entries))
-        return entries, count, stats
+        outcome = self._executor.execute_block(name, plan, stats)
+        return outcome.entries, outcome.count, stats

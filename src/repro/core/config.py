@@ -46,6 +46,9 @@ class LogGrepConfig:
     # CPython's C substring search for raw speed.
     engine: str = "boyer-moore"
     cache_capacity: int = 4096
+    # Bound on pinned deserialized CapsuleBoxes (refining sessions); the
+    # LRU keeps a pin of a huge archive from holding every block at once.
+    box_cache_capacity: int = 64
     # Blocks are independent, so queries parallelize trivially (§6's
     # "both compression and query execution can easily be parallelized";
     # the paper normalizes to one CPU, hence default 1).

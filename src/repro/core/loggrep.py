@@ -22,7 +22,7 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Tuple
 
 from ..blockstore.block import split_lines
 from ..blockstore.store import ArchiveStore, MemoryStore
@@ -30,10 +30,9 @@ from ..capsule.box import CapsuleBox
 from ..common.rowset import RowSet
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
-from ..query.blockfilter import command_might_match
 from ..query.cache import QueryCache
-from ..query.engine import BlockEngine, GroupRows
-from ..query.language import QueryCommand, parse_query
+from ..query.executor import BoxCache, QueryExecutor, StoreBoxSource
+from ..query.plan import OutputMode
 from ..query.stats import QueryStats
 from .compressor import compress_block
 from .config import LogGrepConfig
@@ -87,7 +86,12 @@ class LogGrep:
         self.raw_bytes = 0
         self._next_block_id = 0
         self._next_line_id = 0
-        self._box_cache: Dict[str, CapsuleBox] = {}
+        self._box_cache = BoxCache(self.config.box_cache_capacity)
+        self._executor = QueryExecutor(
+            StoreBoxSource(self.store, self._box_cache),
+            self.config,
+            self.cache,
+        )
 
     # ------------------------------------------------------------------
     # compression
@@ -115,7 +119,7 @@ class LogGrep:
                     bspan.set("compressed_bytes", len(data))
                 self.store.put(name, data)
                 self.cache.invalidate_block(name)
-                self._box_cache.pop(name, None)
+                self._box_cache.pop(name)
                 blocks += 1
                 raw += block.raw_bytes
                 compressed += len(data)
@@ -158,132 +162,32 @@ class LogGrep:
         ``ignore_case`` applies grep ``-i`` semantics (an extension; the
         paper's queries are case-sensitive).
         """
-        tracer = get_tracer()
-        start = time.perf_counter()
-        stats = QueryStats()
-        entries: List[Tuple[int, str]] = []
-        with tracer.span("query", command=command) as qspan:
-            with tracer.span("plan"):
-                parsed = parse_query(command, ignore_case)
-            names = self.store.names()
-            if self.config.query_parallelism > 1 and len(names) > 1:
-                from concurrent.futures import ThreadPoolExecutor
-
-                with ThreadPoolExecutor(self.config.query_parallelism) as pool:
-                    def run_one(name):
-                        block_stats = QueryStats()
-                        found = self._grep_block(
-                            name, parsed, block_stats, parent=qspan
-                        )
-                        return found, block_stats
-
-                    for block_entries, block_stats in pool.map(run_one, names):
-                        entries.extend(block_entries)
-                        stats.merge(block_stats)
-            else:
-                for name in names:
-                    entries.extend(self._grep_block(name, parsed, stats))
-            entries.sort(key=lambda item: item[0])
-            stats.entries_matched = len(entries)
-            qspan.set("blocks", len(names))
-            qspan.set("entries_matched", stats.entries_matched)
-            qspan.set("capsules_decompressed", stats.capsules_decompressed)
-            qspan.set("bytes_decompressed", stats.bytes_decompressed)
-        elapsed = time.perf_counter() - start
-        stats.publish(elapsed)
+        result = self._executor.run(command, OutputMode.LINES, ignore_case)
         logger.debug(
             "grep %r: %d hit(s) in %.1fms (%d capsules opened, %d filtered, "
             "%d blocks pruned)",
-            command, len(entries), elapsed * 1000,
-            stats.capsules_decompressed, stats.capsules_filtered,
-            stats.blocks_pruned,
+            command, result.count, result.elapsed * 1000,
+            result.stats.capsules_decompressed, result.stats.capsules_filtered,
+            result.stats.blocks_pruned,
         )
         return GrepResult(
-            [text for _, text in entries],
-            [line_id for line_id, _ in entries],
-            stats,
-            elapsed,
+            [text for _, text in result.entries],
+            [line_id for line_id, _ in result.entries],
+            result.stats,
+            result.elapsed,
         )
 
     def count(self, command: str, ignore_case: bool = False) -> int:
         """Number of matching entries, skipping reconstruction entirely.
 
-        Counting only needs the located row sets, so no Capsule of a hit
-        group is decompressed beyond what matching required — much cheaper
-        than :meth:`grep` for large result sets (grep -c).
+        Counting is the same plan as :meth:`grep` with the Reconstruct
+        operator elided: only the located row sets are needed, so no
+        Capsule of a hit group is decompressed beyond what matching
+        required — much cheaper than :meth:`grep` for large result sets
+        (grep -c).  Blocks are scheduled exactly like grep, including the
+        ``query_parallelism`` thread pool.
         """
-        tracer = get_tracer()
-        start = time.perf_counter()
-        stats = QueryStats()
-        total = 0
-        with tracer.span("query", command=command, mode="count") as qspan:
-            with tracer.span("plan"):
-                parsed = parse_query(command, ignore_case)
-            for name in self.store.names():
-                with tracer.span("block", block=name):
-                    hits, _, _ = self._locate_block(name, parsed, stats)
-                    total += sum(len(rows) for rows in hits.values())
-            qspan.set("entries_matched", total)
-        stats.entries_matched = total
-        stats.publish(time.perf_counter() - start)
-        return total
-
-    def _grep_block(
-        self,
-        name: str,
-        command: QueryCommand,
-        stats: QueryStats,
-        parent=None,
-    ) -> List[Tuple[int, str]]:
-        tracer = get_tracer()
-        with tracer.span("block", parent=parent, block=name):
-            hits, box, engine = self._locate_block(name, command, stats)
-            if not hits:
-                return []
-            with tracer.span("reconstruct") as rspan:
-                reconstructor = BlockReconstructor(
-                    box, self.config.query_settings(), stats, readers=engine._readers
-                )
-                entries = reconstructor.reconstruct(hits)
-                rspan.set("entries", len(entries))
-            return entries
-
-    def _locate_block(self, name: str, command: QueryCommand, stats: QueryStats):
-        tracer = get_tracer()
-        stats.blocks_visited += 1
-        if self.config.use_block_bloom and name not in self._box_cache:
-            # The Bloom filter sits before the metadata section, so pruning
-            # never pays the box deserialization.
-            with tracer.span("block_filter") as fspan:
-                data = self.store.get(name)
-                bloom = CapsuleBox.read_bloom(data)
-                pruned = bloom is not None and not command_might_match(bloom, command)
-                fspan.set("pruned", pruned)
-            if pruned:
-                stats.blocks_pruned += 1
-                return {}, None, None
-            box = CapsuleBox.deserialize(data)
-        else:
-            box = self._load_box(name)
-        engine = BlockEngine(box, self.config.query_settings(), stats)
-
-        def resolver(search) -> GroupRows:
-            with tracer.span("match", search=search.cache_key) as mspan:
-                if self.config.use_query_cache:
-                    cached = self.cache.get(name, search.cache_key)
-                    if cached is not None:
-                        stats.cache_hits += 1
-                        mspan.set("cache_hit", True)
-                        return cached
-                rows = engine.search_string_rows(search)
-                if self.config.use_query_cache:
-                    self.cache.put(name, search.cache_key, rows)
-                return rows
-
-        with tracer.span("locate") as lspan:
-            hits = engine.execute(command, resolver)
-            lspan.set("groups_hit", len(hits))
-        return hits, box, engine
+        return self._executor.run(command, OutputMode.COUNT, ignore_case).count
 
     def _load_box(self, name: str) -> CapsuleBox:
         # Boxes are deserialized per query by default (the paper reads the
@@ -295,29 +199,32 @@ class LogGrep:
         return box
 
     def explain(self, command: str, ignore_case: bool = False) -> str:
-        """Human-readable plan: what stamps and patterns decide per block.
+        """Human-readable plan: the physical pipeline plus, per (keyword,
+        vector) pair, whether the Capsules would be filtered without
+        decompression, narrowed to candidate matches, or scanned — the
+        §5.1 decisions made visible.
 
-        Shows, per (keyword, vector) pair, whether the Capsules would be
-        filtered without decompression, narrowed to candidate matches, or
-        scanned — the §5.1 decisions made visible.
+        This is a dry run of the same plan ``grep``/``count`` execute:
+        the executor renders its operator pipeline instead of running it.
         """
-        from ..query.explain import explain_block
-
-        parsed = parse_query(command, ignore_case)
-        reports = []
-        for name in self.store.names():
-            box = self._load_box(name)
-            reports.append(explain_block(box, parsed, name).summary())
-        return "\n\n".join(reports)
+        result = self._executor.run(command, OutputMode.EXPLAIN, ignore_case)
+        return "\n\n".join(
+            [self._executor.describe(result.plan), *result.renderings]
+        )
 
     def clear_query_cache(self) -> None:
         """Drop all cached search-string results (cold-query measurements)."""
         self.cache.clear()
 
     def pin_blocks_in_memory(self) -> None:
-        """Keep deserialized boxes across queries (refining sessions)."""
+        """Keep deserialized boxes across queries (refining sessions).
+
+        The pin is bounded by ``config.box_cache_capacity`` (LRU): pinning
+        an archive larger than the bound keeps the most recently touched
+        blocks only.
+        """
         for name in self.store.names():
-            self._box_cache[name] = CapsuleBox.deserialize(self.store.get(name))
+            self._box_cache.put(name, CapsuleBox.deserialize(self.store.get(name)))
 
     def unpin_blocks(self) -> None:
         self._box_cache.clear()
@@ -370,6 +277,10 @@ class LogGrepSession:
     def count(self, command: str, ignore_case: bool = False) -> int:
         self.queries_run += 1
         return self.loggrep.count(command, ignore_case)
+
+    def explain(self, command: str, ignore_case: bool = False) -> str:
+        """Dry-run rendering of the plan; does not count as a query."""
+        return self.loggrep.explain(command, ignore_case)
 
     def close(self) -> None:
         self.loggrep.unpin_blocks()

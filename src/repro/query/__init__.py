@@ -2,10 +2,12 @@
 
 from .cache import QueryCache
 from .engine import BlockEngine, GroupRows
+from .executor import BoxCache, ExecutionResult, QueryExecutor, StoreBoxSource
 from .language import Keyword, QueryCommand, SearchString, Term, parse_query
 from .locator import TOO_COMPLEX, locate
 from .matcher import search_capsule
 from .modes import MatchMode, value_matches
+from .plan import OutputMode, QueryPlan, build_plan
 from .stats import QueryStats
 from .vectors import (
     NominalVectorReader,
@@ -17,6 +19,13 @@ from .vectors import (
 
 __all__ = [
     "parse_query",
+    "build_plan",
+    "OutputMode",
+    "QueryPlan",
+    "QueryExecutor",
+    "ExecutionResult",
+    "StoreBoxSource",
+    "BoxCache",
     "QueryCommand",
     "SearchString",
     "Term",

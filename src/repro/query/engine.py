@@ -17,12 +17,13 @@ operators, and finally handed to the Reconstructor.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..capsule.box import CapsuleBox, GroupBox
 from ..common.rowset import RowSet
 from .language import Keyword, QueryCommand, SearchString
 from .modes import MatchMode
+from .plan import QueryPlan, build_plan
 from .stats import QueryStats
 from .vectors import QuerySettings, make_reader
 
@@ -46,7 +47,7 @@ class BlockEngine:
         self.box = box
         self.settings = settings or QuerySettings()
         self.stats = stats if stats is not None else QueryStats()
-        self._readers: Dict[tuple, object] = {}
+        self._readers: Dict[Tuple[int, int], object] = {}
         # token position → variable ordinal, per group
         self._var_ordinals: List[Dict[int, int]] = [
             {pos: k for k, pos in enumerate(group.template.var_positions)}
@@ -54,6 +55,15 @@ class BlockEngine:
         ]
 
     # ------------------------------------------------------------------
+    @property
+    def readers(self) -> Dict[Tuple[int, int], object]:
+        """The (group, var) → vector-reader cache.
+
+        Shared with the Reconstructor so Capsules decompressed during
+        matching are reused for reconstruction.
+        """
+        return self._readers
+
     def reader(self, group_idx: int, var_idx: int):
         key = (group_idx, var_idx)
         reader = self._readers.get(key)
@@ -65,14 +75,23 @@ class BlockEngine:
 
     # ------------------------------------------------------------------
     def execute(
-        self, command: QueryCommand, resolver: Optional[Resolver] = None
+        self,
+        command: Union[QueryCommand, QueryPlan],
+        resolver: Optional[Resolver] = None,
     ) -> GroupRows:
-        """Evaluate a command; returns matching rows per group."""
+        """Evaluate a planned command; returns matching rows per group.
+
+        A raw :class:`QueryCommand` is planned on the spot; callers that
+        run one plan over many blocks (the executor, the cluster) build
+        the :class:`QueryPlan` once and pass it directly, so term ordering
+        is decided a single time per query.
+        """
+        plan = command if isinstance(command, QueryPlan) else build_plan(command)
         resolve = resolver or self.search_string_rows
         total: GroupRows = {}
-        for disjunct in command.disjuncts:
+        for disjunct in plan.disjuncts:
             acc = self._full_rows()
-            for term in _evaluation_order(disjunct):
+            for term in disjunct.terms:
                 rows = resolve(term.search)
                 if term.negated:
                     acc = _difference(acc, rows)
@@ -191,22 +210,6 @@ def _const_matches(token: str, keyword: Keyword, mode: MatchMode) -> bool:
     if mode is MatchMode.SUFFIX:
         return token.endswith(text)
     return text in token
-
-
-def _evaluation_order(disjunct):
-    """Evaluate the likely-most-selective positive terms first.
-
-    Longer literal search strings tend to be rarer (CLP's "obscurest
-    query first" idea), so sorting by descending literal length empties
-    the accumulator early and short-circuits the remaining terms.
-    Negated terms go last: they can only shrink a set that must first be
-    established by the positives.
-    """
-
-    def selectivity(term) -> int:
-        return sum(len(k.longest_literal() or k.text) for k in term.search.keywords)
-
-    return sorted(disjunct, key=lambda t: (t.negated, -selectivity(t)))
 
 
 # ----------------------------------------------------------------------

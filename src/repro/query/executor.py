@@ -1,0 +1,383 @@
+"""Physical operator pipeline executing a :class:`QueryPlan` over blocks.
+
+This is the single execution path behind ``LogGrep.grep``, ``count``,
+``explain``, interactive sessions and the cluster's per-node block
+queries.  Per block the pipeline is::
+
+    BloomPrune → LoadBox → Locate → Match* → Reconstruct
+
+* **BloomPrune** — reads only the block-level trigram Bloom filter (it
+  sits before the metadata section, so pruning never pays the box
+  deserialization) and drops the block when no disjunct can match.
+* **LoadBox** — deserializes the CapsuleBox, or reuses a pinned box from
+  the bounded :class:`BoxCache` (interactive refining sessions).
+* **Locate** — evaluates the plan's selectivity-ordered terms with the
+  row-set algebra of :class:`~repro.query.engine.BlockEngine`.
+* **Match** — resolves one search string to per-group row sets; memoized
+  on ``(block, search.cache_key)`` in the shared
+  :class:`~repro.query.cache.QueryCache` when configured.
+* **Reconstruct** — rebuilds the original entries of the located rows;
+  elided entirely for ``COUNT`` plans, and the whole pipeline downstream
+  of LoadBox is replaced by a dry-run rendering for ``EXPLAIN`` plans.
+
+Blocks are independent, so the executor schedules them either serially or
+on a thread pool (``config.query_parallelism``); per-block
+:class:`QueryStats` are merged in block order either way.  Obs spans sit
+on the operator boundaries — ``query → plan / block → block_filter /
+load_box / locate → match → decompress / reconstruct`` — so trace stage
+names are stable regardless of the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..capsule.box import CapsuleBox
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
+from .blockfilter import command_might_match
+from .cache import QueryCache
+from .engine import BlockEngine, GroupRows
+from .language import QueryCommand, SearchString
+from .plan import OutputMode, QueryPlan, build_plan
+from .stats import QueryStats
+
+_BOX_HITS = get_registry().counter(
+    "loggrep_box_cache_hits_total", "Box cache lookups that hit"
+)
+_BOX_MISSES = get_registry().counter(
+    "loggrep_box_cache_misses_total", "Box cache lookups that missed"
+)
+_BOX_EVICTIONS = get_registry().counter(
+    "loggrep_box_cache_evictions_total", "Boxes evicted by the LRU bound"
+)
+_BOX_ENTRIES = get_registry().gauge(
+    "loggrep_box_cache_entries", "Deserialized boxes currently pinned"
+)
+
+#: One reconstructed entry: (global line id, original text).
+Entry = Tuple[int, str]
+
+
+class BoxCache:
+    """A small bounded LRU of deserialized CapsuleBoxes.
+
+    Pinned refining sessions keep boxes across queries; the bound keeps a
+    pin of a large archive from holding every deserialized block at once.
+    Thread-safe: parallel block schedulers share one instance.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("box cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CapsuleBox]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, name: str) -> Optional[CapsuleBox]:
+        with self._lock:
+            box = self._entries.get(name)
+            if box is None:
+                _BOX_MISSES.inc()
+                return None
+            self._entries.move_to_end(name)
+            _BOX_HITS.inc()
+            return box
+
+    def put(self, name: str, box: CapsuleBox) -> None:
+        with self._lock:
+            self._entries[name] = box
+            self._entries.move_to_end(name)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                _BOX_EVICTIONS.inc()
+            _BOX_ENTRIES.set(len(self._entries))
+
+    def pop(self, name: str) -> Optional[CapsuleBox]:
+        """Drop one block's box (e.g. after the block is rewritten)."""
+        with self._lock:
+            box = self._entries.pop(name, None)
+            _BOX_ENTRIES.set(len(self._entries))
+            return box
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            _BOX_ENTRIES.set(0)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+
+class StoreBoxSource:
+    """Adapts an archive store (+ optional pin cache) to the executor.
+
+    The executor only needs three things from storage: the block names,
+    the raw serialized bytes of one block, and a possibly-pinned
+    deserialized box.  Anything that provides those — a local store, a
+    cluster node's replica store — can sit behind the same pipeline.
+    """
+
+    def __init__(self, store: object, box_cache: Optional[BoxCache] = None):
+        self.store = store
+        self.box_cache = box_cache
+
+    def names(self) -> List[str]:
+        return self.store.names()  # type: ignore[attr-defined]
+
+    def raw(self, name: str) -> bytes:
+        return self.store.get(name)  # type: ignore[attr-defined]
+
+    def cached(self, name: str) -> Optional[CapsuleBox]:
+        if self.box_cache is None:
+            return None
+        return self.box_cache.get(name)
+
+
+@dataclass
+class BlockOutcome:
+    """What one block contributed to a query."""
+
+    name: str
+    pruned: bool = False
+    entries: List[Entry] = field(default_factory=list)
+    count: int = 0
+    rendering: Optional[str] = None  # EXPLAIN mode only
+
+
+@dataclass
+class ExecutionResult:
+    """The merged outcome of one plan execution."""
+
+    plan: QueryPlan
+    entries: List[Entry]
+    stats: QueryStats
+    elapsed: float
+    renderings: List[str] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return self.stats.entries_matched
+
+    @property
+    def rendering(self) -> str:
+        return "\n\n".join(self.renderings)
+
+
+class QueryExecutor:
+    """Runs query plans over every block of one box source."""
+
+    def __init__(
+        self,
+        source: StoreBoxSource,
+        config: object,
+        cache: Optional[QueryCache] = None,
+    ):
+        self.source = source
+        self.config = config
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    # plan-level driver
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        command: Union[str, QueryCommand, QueryPlan],
+        mode: OutputMode = OutputMode.LINES,
+        ignore_case: bool = False,
+    ) -> ExecutionResult:
+        """Plan (if needed) and execute a command over every block."""
+        tracer = get_tracer()
+        start = time.perf_counter()
+        stats = QueryStats()
+        raw = command.raw if not isinstance(command, str) else command
+        attrs: Dict[str, object] = {"command": raw}
+        if mode is not OutputMode.LINES:
+            attrs["mode"] = mode.value
+        with tracer.span("query", **attrs) as qspan:
+            with tracer.span("plan"):
+                if isinstance(command, QueryPlan):
+                    plan = command
+                else:
+                    plan = build_plan(command, mode, ignore_case)
+            names = self.source.names()
+            outcomes = self._schedule(names, plan, stats, qspan)
+            entries: List[Entry] = []
+            renderings: List[str] = []
+            total = 0
+            for outcome in outcomes:
+                entries.extend(outcome.entries)
+                total += outcome.count
+                if outcome.rendering is not None:
+                    renderings.append(outcome.rendering)
+            entries.sort(key=lambda item: item[0])
+            stats.entries_matched = total
+            qspan.set("blocks", len(names))
+            qspan.set("entries_matched", stats.entries_matched)
+            qspan.set("capsules_decompressed", stats.capsules_decompressed)
+            qspan.set("bytes_decompressed", stats.bytes_decompressed)
+        elapsed = time.perf_counter() - start
+        if plan.mode is not OutputMode.EXPLAIN:
+            stats.publish(elapsed)
+        return ExecutionResult(plan, entries, stats, elapsed, renderings)
+
+    def _schedule(
+        self,
+        names: List[str],
+        plan: QueryPlan,
+        stats: QueryStats,
+        qspan: object,
+    ) -> List[BlockOutcome]:
+        """Run every block, serially or on a thread pool, merging stats
+        in block order either way."""
+        tracer = get_tracer()
+        parallelism = getattr(self.config, "query_parallelism", 1)
+
+        def run_one(name: str) -> Tuple[BlockOutcome, QueryStats]:
+            block_stats = QueryStats()
+            with tracer.span("block", parent=qspan, block=name):
+                outcome = self.execute_block(name, plan, block_stats)
+            return outcome, block_stats
+
+        if parallelism > 1 and len(names) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(parallelism) as pool:
+                pairs = list(pool.map(run_one, names))
+        else:
+            pairs = [run_one(name) for name in names]
+        outcomes: List[BlockOutcome] = []
+        for outcome, block_stats in pairs:
+            stats.merge(block_stats)
+            outcomes.append(outcome)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # per-block operator pipeline
+    # ------------------------------------------------------------------
+    def execute_block(
+        self, name: str, plan: QueryPlan, stats: QueryStats
+    ) -> BlockOutcome:
+        """BloomPrune → LoadBox → Locate/Match → Reconstruct for one block."""
+        tracer = get_tracer()
+        stats.blocks_visited += 1
+        box = self.source.cached(name)
+        data: Optional[bytes] = None
+        # -- BloomPrune: the filter sits before the metadata section, so a
+        # prune never pays the box deserialization.
+        if box is None and getattr(self.config, "use_block_bloom", False):
+            with tracer.span("block_filter") as fspan:
+                data = self.source.raw(name)
+                bloom = CapsuleBox.read_bloom(data)
+                pruned = bloom is not None and not command_might_match(
+                    bloom, plan.command
+                )
+                fspan.set("pruned", pruned)
+            if pruned:
+                stats.blocks_pruned += 1
+                rendering = (
+                    f"block {name}: pruned by block-level Bloom filter "
+                    "(no disjunct's literals survive the trigram check)"
+                    if plan.mode is OutputMode.EXPLAIN
+                    else None
+                )
+                return BlockOutcome(name, pruned=True, rendering=rendering)
+        # -- LoadBox
+        if box is None:
+            with tracer.span("load_box") as lspan:
+                if data is None:
+                    data = self.source.raw(name)
+                box = CapsuleBox.deserialize(data)
+                lspan.set("bytes", len(data))
+        # -- EXPLAIN: dry-run the remaining operators into a rendering.
+        if plan.mode is OutputMode.EXPLAIN:
+            from .explain import explain_block
+
+            return BlockOutcome(
+                name, rendering=explain_block(box, plan, name).summary()
+            )
+        # -- Locate (calling Match per search string)
+        engine = BlockEngine(box, self._settings(), stats)
+        with tracer.span("locate") as lspan:
+            hits = engine.execute(plan, self._matcher(name, engine, stats))
+            lspan.set("groups_hit", len(hits))
+        count = sum(len(rows) for rows in hits.values())
+        # -- Reconstruct (elided for COUNT plans)
+        entries: List[Entry] = []
+        if plan.mode is OutputMode.LINES and hits:
+            from ..core.reconstructor import BlockReconstructor
+
+            with tracer.span("reconstruct") as rspan:
+                reconstructor = BlockReconstructor(
+                    box, self._settings(), stats, readers=engine.readers
+                )
+                entries = reconstructor.reconstruct(hits)
+                rspan.set("entries", len(entries))
+        return BlockOutcome(name, entries=entries, count=count)
+
+    def _matcher(
+        self, name: str, engine: BlockEngine, stats: QueryStats
+    ) -> Callable[[SearchString], GroupRows]:
+        """The Match operator: engine search memoized per (block, search)."""
+        tracer = get_tracer()
+        use_cache = (
+            self.cache is not None
+            and getattr(self.config, "use_query_cache", False)
+        )
+
+        def match(search: SearchString) -> GroupRows:
+            with tracer.span("match", search=search.cache_key) as mspan:
+                if use_cache:
+                    cached = self.cache.get(name, search.cache_key)  # type: ignore[union-attr]
+                    if cached is not None:
+                        stats.cache_hits += 1
+                        mspan.set("cache_hit", True)
+                        return cached
+                rows = engine.search_string_rows(search)
+                if use_cache:
+                    self.cache.put(name, search.cache_key, rows)  # type: ignore[union-attr]
+                return rows
+
+        return match
+
+    def _settings(self) -> object:
+        return self.config.query_settings()  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def describe(self, plan: QueryPlan) -> str:
+        """The physical plan: operators, scheduler, term order."""
+        bloom = "on" if getattr(self.config, "use_block_bloom", False) else "off"
+        cache = (
+            "on"
+            if self.cache is not None
+            and getattr(self.config, "use_query_cache", False)
+            else "off"
+        )
+        if plan.mode is OutputMode.LINES:
+            tail = "Reconstruct"
+        elif plan.mode is OutputMode.COUNT:
+            tail = "Reconstruct(elided)"
+        else:
+            tail = "Reconstruct(dry-run)"
+        parallelism = getattr(self.config, "query_parallelism", 1)
+        scheduler = (
+            f"thread-pool({parallelism})" if parallelism > 1 else "serial"
+        )
+        lines = [
+            f"physical plan for {plan.raw!r} (mode={plan.mode.value})",
+            f"  pipeline: BloomPrune({bloom}) -> LoadBox -> Locate -> "
+            f"Match(query_cache={cache}) -> {tail}",
+            f"  scheduler: {scheduler} over {len(self.source.names())} block(s)",
+        ]
+        for i, disjunct in enumerate(plan.disjuncts):
+            lines.append(f"  disjunct {i}: {disjunct.describe()}")
+        return "\n".join(lines)

@@ -1,16 +1,23 @@
-"""Query EXPLAIN: show what the Locator and stamps decided.
+"""Query EXPLAIN: the dry-run rendering of the physical plan.
 
-``LogGrep.explain(command)`` walks the same planning the engine performs
-— token windows, runtime-pattern candidates, stamp checks — but instead of
-executing, it reports *why* each Capsule would or would not be touched.
-Invaluable for understanding a slow query and for teaching the §5
-machinery.
+``LogGrep.explain(command)`` builds the same :class:`QueryPlan` that
+``grep``/``count`` execute and hands it to the executor in ``EXPLAIN``
+mode; instead of locating rows, each block's pipeline renders *why* each
+Capsule would or would not be touched — Bloom prunes, stamp checks,
+runtime-pattern candidates.  Invaluable for understanding a slow query
+and for teaching the §5 machinery.
+
+The per-vector decisions below are produced by the same
+:func:`~repro.query.locator.locate` the Locate operator uses, so the
+rendering cannot drift from what execution actually does; which search
+strings are planned (deduped, in evaluation order) comes straight from
+:meth:`QueryPlan.search_strings`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Union
 
 from ..capsule.assembler import (
     NominalEncodedVector,
@@ -18,9 +25,10 @@ from ..capsule.assembler import (
     RealEncodedVector,
 )
 from ..capsule.box import CapsuleBox
-from ..query.language import QueryCommand, SearchString
+from ..query.language import QueryCommand
 from ..query.locator import TOO_COMPLEX, locate
 from ..query.modes import MatchMode
+from ..query.plan import OutputMode, QueryPlan, build_plan
 
 
 @dataclass
@@ -59,15 +67,23 @@ class BlockPlan:
         return "\n".join(lines)
 
 
-def explain_block(box: CapsuleBox, command: QueryCommand, name: str) -> BlockPlan:
-    """Plan every (search string keyword, vector) pair of one block."""
+def explain_block(
+    box: CapsuleBox, command: Union[QueryCommand, QueryPlan], name: str
+) -> BlockPlan:
+    """Render every (search string keyword, vector) decision of one block.
+
+    Accepts a pre-built :class:`QueryPlan` (the executor's EXPLAIN path)
+    or a raw :class:`QueryCommand`, which is planned on the spot.  The
+    distinct search strings and their order come from the plan — the same
+    dedup the Match operator's memo performs.
+    """
+    query_plan = (
+        command
+        if isinstance(command, QueryPlan)
+        else build_plan(command, OutputMode.EXPLAIN)
+    )
     plan = BlockPlan(name)
-    searches: List[SearchString] = []
-    seen = set()
-    for search in command.search_strings():
-        if search.cache_key not in seen:
-            seen.add(search.cache_key)
-            searches.append(search)
+    searches = query_plan.search_strings()
 
     for group_idx, group in enumerate(box.groups):
         template = group.template

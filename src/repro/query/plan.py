@@ -1,0 +1,147 @@
+"""Logical query plans: the one IR every query consumer builds (§5).
+
+``grep``, ``count``, ``explain``, interactive sessions and the cluster
+coordinator all turn a command string into a :class:`QueryPlan` and hand
+it to the physical pipeline in :mod:`repro.query.executor`.  The plan
+captures everything that is decided *before* any block is touched:
+
+* the parsed command — a DNF of possibly-negated search strings
+  (:class:`~repro.query.language.QueryCommand`);
+* per-disjunct **term order**: positive terms sorted most-selective-first
+  (CLP's "obscurest query first" heuristic — longer literals are rarer,
+  so they empty the row-set accumulator early and short-circuit the rest),
+  negated terms last because they can only shrink a set the positives must
+  first establish;
+* the **output mode** — ``LINES`` runs the full pipeline, ``COUNT`` elides
+  reconstruction, ``EXPLAIN`` dry-runs the pipeline and renders what each
+  operator would decide.
+
+Because the plan is an ordinary value object it can be built once and
+shipped to every block — the thread-pool scheduler and the cluster
+coordinator both execute the *same* plan instead of re-parsing the raw
+command per block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Union
+
+from .language import QueryCommand, SearchString, Term, parse_query
+
+
+class OutputMode(Enum):
+    """What the physical pipeline produces."""
+
+    LINES = "lines"  # full pipeline: locate + reconstruct original entries
+    COUNT = "count"  # reconstruction elided; only located-row counts
+    EXPLAIN = "explain"  # dry run; render per-operator decisions
+
+
+def term_selectivity(term: Term) -> int:
+    """Crude selectivity estimate of one term.
+
+    The total length of the stamp-filterable literals of its keywords:
+    longer literal runs are rarer in practice, so evaluating them first
+    maximizes early short-circuiting.  Wildcard keywords contribute their
+    longest literal run; ignore-case keywords fall back to their raw text.
+    """
+    return sum(
+        len(keyword.longest_literal() or keyword.text)
+        for keyword in term.search.keywords
+    )
+
+
+@dataclass
+class PlannedTerm:
+    """One possibly-negated search string with its selectivity estimate."""
+
+    search: SearchString
+    negated: bool
+    selectivity: int
+
+    @classmethod
+    def from_term(cls, term: Term) -> "PlannedTerm":
+        return cls(term.search, term.negated, term_selectivity(term))
+
+    def describe(self) -> str:
+        prefix = "NOT " if self.negated else ""
+        return f"{prefix}{self.search.text!r}(sel={self.selectivity})"
+
+
+@dataclass
+class PlannedDisjunct:
+    """One conjunction with its terms already in evaluation order."""
+
+    terms: List[PlannedTerm] = field(default_factory=list)
+
+    @classmethod
+    def from_terms(cls, terms: List[Term]) -> "PlannedDisjunct":
+        planned = [PlannedTerm.from_term(term) for term in terms]
+        planned.sort(key=lambda t: (t.negated, -t.selectivity))
+        return cls(planned)
+
+    def describe(self) -> str:
+        return " AND ".join(term.describe() for term in self.terms)
+
+
+@dataclass
+class QueryPlan:
+    """The logical plan: ordered terms per disjunct plus the output mode."""
+
+    command: QueryCommand
+    mode: OutputMode = OutputMode.LINES
+    disjuncts: List[PlannedDisjunct] = field(default_factory=list)
+
+    @property
+    def raw(self) -> str:
+        return self.command.raw
+
+    @property
+    def ignore_case(self) -> bool:
+        return self.command.ignore_case
+
+    def search_strings(self) -> List[SearchString]:
+        """Distinct search strings in evaluation order (deduped by key)."""
+        seen = set()
+        out: List[SearchString] = []
+        for disjunct in self.disjuncts:
+            for term in disjunct.terms:
+                key = term.search.cache_key
+                if key not in seen:
+                    seen.add(key)
+                    out.append(term.search)
+        return out
+
+    def describe(self) -> str:
+        """Human-readable logical plan (one line per disjunct)."""
+        lines = [
+            f"logical plan for {self.raw!r} (mode={self.mode.value}"
+            + (", ignore_case" if self.ignore_case else "")
+            + ")"
+        ]
+        for i, disjunct in enumerate(self.disjuncts):
+            lines.append(f"  disjunct {i}: {disjunct.describe()}")
+        return "\n".join(lines)
+
+
+def build_plan(
+    command: Union[str, QueryCommand],
+    mode: OutputMode = OutputMode.LINES,
+    ignore_case: bool = False,
+) -> QueryPlan:
+    """Parse (if needed) and plan a query command.
+
+    ``ignore_case`` only applies when *command* is a raw string; a parsed
+    :class:`QueryCommand` already carries its case sensitivity.
+    """
+    parsed = (
+        parse_query(command, ignore_case)
+        if isinstance(command, str)
+        else command
+    )
+    disjuncts = [
+        PlannedDisjunct.from_terms(disjunct) for disjunct in parsed.disjuncts
+    ]
+    return QueryPlan(parsed, mode, disjuncts)

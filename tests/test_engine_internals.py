@@ -4,18 +4,20 @@ merging, and anchored locator corner cases."""
 import pytest
 
 from repro.capsule.stamp import CapsuleStamp
-from repro.query.engine import _evaluation_order
 from repro.query.language import parse_query
 from repro.query.locator import locate
 from repro.query.modes import MatchMode
+from repro.query.plan import PlannedDisjunct
 from repro.query.stats import QueryStats
 from repro.runtime.pattern import pattern_from_fragments
 
 
 class TestEvaluationOrder:
+    # Term ordering moved from the engine into the planner: the engine
+    # now receives disjuncts with their terms already sorted.
     def test_most_selective_positive_first(self):
         command = parse_query("a AND longer-and-rarer-token AND bb")
-        ordered = _evaluation_order(command.disjuncts[0])
+        ordered = PlannedDisjunct.from_terms(command.disjuncts[0]).terms
         assert [t.search.text for t in ordered] == [
             "longer-and-rarer-token",
             "bb",
@@ -24,12 +26,12 @@ class TestEvaluationOrder:
 
     def test_negated_terms_last(self):
         command = parse_query("a NOT zzzzzzzzzz AND bb")
-        ordered = _evaluation_order(command.disjuncts[0])
+        ordered = PlannedDisjunct.from_terms(command.disjuncts[0]).terms
         assert [t.negated for t in ordered] == [False, False, True]
 
     def test_wildcards_ranked_by_literal(self):
         command = parse_query("ab*xy AND qqqqqqq")
-        ordered = _evaluation_order(command.disjuncts[0])
+        ordered = PlannedDisjunct.from_terms(command.disjuncts[0]).terms
         # "qqqqqqq" (7 literal chars) beats "ab*xy" (longest run 2).
         assert ordered[0].search.text == "qqqqqqq"
 

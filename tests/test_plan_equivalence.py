@@ -1,0 +1,87 @@
+"""Property test: one plan, every execution strategy, one answer.
+
+For randomly composed query commands, ``grep`` and ``count`` must agree
+with each other and with a reference Python grep over the decompressed
+corpus — regardless of scheduler (serial vs thread pool) and of whether
+the match memo is enabled.  This pins the planner/executor refactor to
+the observable semantics of the original per-method query paths.
+"""
+
+import pytest
+
+try:
+    from hypothesis import HealthCheck, assume, given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis is in the dev env
+    pytest.skip("hypothesis not installed", allow_module_level=True)
+
+from repro import LogGrep, LogGrepConfig
+from repro.baselines.evalutil import grep_lines
+from repro.common.errors import QuerySyntaxError
+from tests.conftest import make_mixed_lines
+
+CORPUS = make_mixed_lines(400, seed=23)
+
+#: Fragments that hit every structure of the mixed corpus: template
+#: constants, real-vector ids, nominal states, paths, wildcards, and a
+#: keyword that matches nothing.
+VOCAB = [
+    "ERROR",
+    "read",
+    "state:",
+    "SUC",
+    "bk.",
+    "T1*",
+    "write to file:",
+    "code=",
+    "/root/usr",
+    "zzz_absent",
+    "bk.F?.*",
+]
+
+
+@pytest.fixture(scope="module")
+def archive():
+    lg = LogGrep(config=LogGrepConfig(block_bytes=8 * 1024))
+    lg.compress(CORPUS)
+    return lg
+
+
+def test_round_trip_is_the_reference(archive):
+    # decompress_all() is the oracle the property below greps against.
+    assert archive.decompress_all() == CORPUS
+
+
+@st.composite
+def query_strings(draw):
+    parts = [draw(st.sampled_from(VOCAB))]
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        parts.append(draw(st.sampled_from(["AND", "OR", "NOT"])))
+        parts.append(draw(st.sampled_from(VOCAB)))
+    return " ".join(parts)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    command=query_strings(),
+    parallelism=st.sampled_from([1, 3]),
+    use_cache=st.booleans(),
+    ignore_case=st.booleans(),
+)
+def test_grep_count_and_reference_agree(
+    archive, command, parallelism, use_cache, ignore_case
+):
+    archive.config.query_parallelism = parallelism
+    archive.config.use_query_cache = use_cache
+    try:
+        expected = grep_lines(command, CORPUS, ignore_case)
+    except QuerySyntaxError:
+        assume(False)
+    result = archive.grep(command, ignore_case=ignore_case)
+    assert result.lines == expected
+    assert result.count == archive.count(command, ignore_case=ignore_case)
+    assert result.count == len(expected)

@@ -122,18 +122,15 @@ class TestCount:
     def test_count_cheaper_than_grep(self, corpus):
         lg = LogGrep(config=LogGrepConfig(block_bytes=16 * 1024))
         lg.compress(corpus)
-        from repro.query.stats import QueryStats
-        from repro.query.language import parse_query as pq
+        from repro.query.plan import OutputMode
 
         # count() must not touch more capsules than grep() does.
         lg.clear_query_cache()
         grep_stats = lg.grep("read").stats
         lg.clear_query_cache()
-        stats = QueryStats()
-        parsed = pq("read")
-        total = 0
-        for name in lg.store.names():
-            hits, _, _ = lg._locate_block(name, parsed, stats)
-            total += sum(len(rows) for rows in hits.values())
-        assert total == grep_stats.entries_matched
-        assert stats.capsules_decompressed <= grep_stats.capsules_decompressed
+        result = lg._executor.run("read", OutputMode.COUNT)
+        assert result.count == grep_stats.entries_matched
+        assert (
+            result.stats.capsules_decompressed
+            <= grep_stats.capsules_decompressed
+        )
