@@ -16,6 +16,15 @@ from typing import Iterable, Iterator, List
 DEFAULT_BLOCK_BYTES = 64 * 1024 * 1024
 
 
+def block_name(block_id: int) -> str:
+    """The canonical archive-store name of a compressed block.
+
+    Every producer — batch compression, the streaming pipeline, the
+    cluster nodes — must agree on this so archives stay interchangeable.
+    """
+    return f"block-{block_id:08d}.lgcb"
+
+
 @dataclass
 class LogBlock:
     """An ordered slice of raw log lines.

@@ -3,6 +3,7 @@
 Examples::
 
     loggrep compress app.log -a /tmp/archive
+    loggrep compress app.log -a /tmp/archive -j 4 --executor process
     loggrep grep -a /tmp/archive "ERROR AND dst:11.8.* NOT state:503"
     loggrep grep -a /tmp/archive ERROR --trace       # span tree to stderr
     loggrep stats -a /tmp/archive --json
@@ -40,6 +41,16 @@ def _build_parser() -> argparse.ArgumentParser:
     compress.add_argument(
         "--preset", type=int, default=1, choices=range(10),
         help="LZMA preset for Capsule payloads",
+    )
+    compress.add_argument(
+        "-j", "--parallelism", type=int, default=None, metavar="N",
+        help="encode blocks on an N-worker pool (default: serial; archives "
+        "are byte-identical for any N)",
+    )
+    compress.add_argument(
+        "--executor", choices=("thread", "process"), default=None,
+        help="worker pool kind for -j: threads overlap LZMA, processes "
+        "sidestep the GIL for the encoding loops (default: thread)",
     )
 
     grep = sub.add_parser("grep", help="query a compressed archive")
@@ -114,7 +125,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.command == "compress":
-        lg = _open(args.archive, block_bytes=args.block_bytes, preset=args.preset)
+        overrides = {"block_bytes": args.block_bytes, "preset": args.preset}
+        if args.parallelism is not None:
+            overrides["compress_parallelism"] = args.parallelism
+        if args.executor is not None:
+            overrides["compress_executor"] = args.executor
+        lg = _open(args.archive, **overrides)
         with open(args.input, "r", encoding="utf-8", errors="replace") as fh:
             lines = fh.read().split("\n")
         if lines and lines[-1] == "":

@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 
 from ..capsule.assembler import EncodingOptions
 from ..query.vectors import QuerySettings
+
+
+def _default_compress_parallelism() -> int:
+    """CI exercises the parallel ingest path by exporting this variable."""
+    return int(os.environ.get("LOGGREP_COMPRESS_PARALLELISM", "1"))
+
+
+def _default_compress_executor() -> str:
+    return os.environ.get("LOGGREP_COMPRESS_EXECUTOR", "thread")
 
 #: Names of the five ablated versions evaluated in Fig 9.
 ABLATIONS = ("w/o real", "w/o nomi", "w/o stamp", "w/o fixed", "w/o cache")
@@ -38,6 +48,22 @@ class LogGrepConfig:
     # -- extensions beyond the paper ---------------------------------------
     use_block_bloom: bool = False  # block-level trigram Bloom pruning
     bloom_bits_per_trigram: int = 10
+
+    # -- compression scheduler (§8 "compression speed") --------------------
+    # Blocks are independent once parsed, so the scheduler fans the
+    # CPU-bound encode/serialize stage out to N workers while parsing
+    # stays ordered on the submitting thread (archives are byte-identical
+    # for any worker count).  "process" sidesteps the GIL for the
+    # per-value Python encoding loops; "thread" still overlaps the LZMA
+    # portions, which release the GIL.
+    compress_parallelism: int = field(default_factory=_default_compress_parallelism)
+    compress_executor: str = field(default_factory=_default_compress_executor)
+    # Template warm-start: seed each block's parse with templates mined
+    # from earlier blocks of the same stream (consecutive blocks of one
+    # log share static patterns, §3.1); a block whose unmatched-line
+    # fraction exceeds the drift threshold is re-mined from scratch.
+    template_warm_start: bool = True
+    template_drift_threshold: float = 0.3
 
     # -- query-side --------------------------------------------------------
     # The paper's fixed-length matcher is Boyer-Moore (§5.2); it is the

@@ -24,7 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Tuple
 
-from ..blockstore.block import split_lines
+from ..blockstore.block import LogBlock, block_name, split_lines
 from ..blockstore.store import ArchiveStore, MemoryStore
 from ..capsule.box import CapsuleBox
 from ..common.rowset import RowSet
@@ -34,9 +34,10 @@ from ..query.cache import QueryCache
 from ..query.executor import BoxCache, QueryExecutor, StoreBoxSource
 from ..query.plan import OutputMode
 from ..query.stats import QueryStats
-from .compressor import compress_block
+from ..staticparse.cache import TemplateCache
 from .config import LogGrepConfig
 from .reconstructor import BlockReconstructor
+from .schedule import CompressionScheduler
 
 logger = logging.getLogger(__name__)
 
@@ -86,6 +87,9 @@ class LogGrep:
         self.raw_bytes = 0
         self._next_block_id = 0
         self._next_line_id = 0
+        self._template_cache = (
+            TemplateCache() if self.config.template_warm_start else None
+        )
         self._box_cache = BoxCache(self.config.box_cache_capacity)
         self._executor = QueryExecutor(
             StoreBoxSource(self.store, self._box_cache),
@@ -97,32 +101,39 @@ class LogGrep:
     # compression
     # ------------------------------------------------------------------
     def compress(self, lines: Iterable[str]) -> CompressionReport:
-        """Split *lines* into blocks, compress each, persist CapsuleBoxes."""
+        """Split *lines* into blocks, compress each, persist CapsuleBoxes.
+
+        Compression runs on the :class:`CompressionScheduler`: blocks are
+        parsed in order against the instance's template warm-start cache,
+        encoded on ``config.compress_parallelism`` workers, and committed
+        in order — output bytes are identical for any worker count.
+        """
         tracer = get_tracer()
         start = time.perf_counter()
-        blocks = 0
-        raw = 0
-        compressed = 0
+
+        def invalidate(name: str, _block: LogBlock, _data: bytes) -> None:
+            self.cache.invalidate_block(name)
+            self._box_cache.pop(name)
+
         with tracer.span("compress") as cspan:
-            for block in split_lines(lines, self.config.block_bytes):
-                block.block_id = self._next_block_id
-                block.first_line_id = self._next_line_id
-                self._next_block_id += 1
-                self._next_line_id += block.num_lines
-                name = self._block_name(block.block_id)
-                with tracer.span(
-                    "compress.block", block=name, raw_bytes=block.raw_bytes
-                ) as bspan:
-                    box = compress_block(block, self.config)
-                    with tracer.span("serialize"):
-                        data = box.serialize()
-                    bspan.set("compressed_bytes", len(data))
-                self.store.put(name, data)
-                self.cache.invalidate_block(name)
-                self._box_cache.pop(name)
-                blocks += 1
-                raw += block.raw_bytes
-                compressed += len(data)
+            scheduler = CompressionScheduler(
+                self.store,
+                self.config,
+                template_cache=self._template_cache,
+                on_commit=invalidate,
+            )
+            try:
+                for block in split_lines(lines, self.config.block_bytes):
+                    block.block_id = self._next_block_id
+                    block.first_line_id = self._next_line_id
+                    self._next_block_id += 1
+                    self._next_line_id += block.num_lines
+                    scheduler.submit(block)
+            finally:
+                scheduler.close()
+            blocks = scheduler.blocks
+            raw = scheduler.raw_bytes
+            compressed = scheduler.compressed_bytes
             cspan.set("blocks", blocks).set("raw_bytes", raw)
         elapsed = time.perf_counter() - start
         self.compress_seconds += elapsed
@@ -151,7 +162,7 @@ class LogGrep:
 
     @staticmethod
     def _block_name(block_id: int) -> str:
-        return f"block-{block_id:08d}.lgcb"
+        return block_name(block_id)
 
     # ------------------------------------------------------------------
     # query

@@ -3,10 +3,13 @@
 The paper's §8 calls compression speed "important to ingest raw logs at a
 high speed".  In production, Alibaba's applications append raw text to the
 current 64 MB block while *previous* blocks compress in the background
-(§2).  :class:`StreamingCompressor` reproduces that pipeline: ``append``
-never blocks on compression — a full block is handed to a worker pool
-(LZMA releases the GIL, so background compression overlaps with ingest) —
-and ``flush``/``close`` drain the pipeline.
+(§2).  :class:`StreamingCompressor` reproduces that pipeline on top of the
+:class:`~repro.core.schedule.CompressionScheduler`: ``append`` never
+blocks on compression — a full block is parsed in order (template
+warm-start) and its CPU-bound encode stage is handed to the scheduler's
+worker pool — and ``flush``/``close`` drain the pipeline.  Because the
+scheduler is deterministic, streaming produces byte-identical archives to
+batch compression for the same config, any worker count.
 
     with StreamingCompressor(store=ArchiveStore(path)) as stream:
         for line in tail_f(...):
@@ -17,14 +20,14 @@ and ``flush``/``close`` drain the pipeline.
 from __future__ import annotations
 
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
-from typing import List, Optional
+from typing import Optional
 
 from ..blockstore.block import LogBlock
 from ..blockstore.store import ArchiveStore, MemoryStore
-from .compressor import compress_block
+from ..staticparse.cache import TemplateCache
 from .config import LogGrepConfig
 from .loggrep import CompressionReport, LogGrep
+from .schedule import CompressionScheduler
 
 
 class StreamingCompressor:
@@ -34,22 +37,33 @@ class StreamingCompressor:
         self,
         store: Optional[ArchiveStore] = None,
         config: Optional[LogGrepConfig] = None,
-        pipeline_depth: int = 2,
+        pipeline_depth: Optional[int] = None,
     ):
+        self.config = config or LogGrepConfig()
+        if pipeline_depth is None:
+            # Streaming always keeps at least two stages in flight so
+            # append overlaps with background compression even when the
+            # batch-side default is serial.
+            pipeline_depth = max(2, self.config.compress_parallelism)
         if pipeline_depth <= 0:
             raise ValueError("pipeline depth must be positive")
+        self.pipeline_depth = pipeline_depth
         self.store = store if store is not None else MemoryStore()
-        self.config = config or LogGrepConfig()
-        self._pool = ThreadPoolExecutor(max_workers=pipeline_depth)
-        self._pending: List[Future] = []
-        self._lines: List[str] = []
+        self._scheduler = CompressionScheduler(
+            self.store,
+            self.config,
+            template_cache=(
+                TemplateCache() if self.config.template_warm_start else None
+            ),
+            parallelism=pipeline_depth,
+            executor=self.config.compress_executor,
+            always_async=True,
+        )
+        self._lines: list = []
         self._buffered_bytes = 0
         self._next_block_id = 0
         self._next_line_id = 0
         self._start = time.perf_counter()
-        self.raw_bytes = 0
-        self.compressed_bytes = 0
-        self.blocks = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -79,57 +93,59 @@ class StreamingCompressor:
         block = LogBlock(self._next_block_id, self._next_line_id, self._lines)
         self._next_block_id += 1
         self._next_line_id += block.num_lines
-        self.raw_bytes += block.raw_bytes
         self._lines = []
         self._buffered_bytes = 0
-        self._pending.append(self._pool.submit(self._compress_one, block))
-        self._reap(block_on_full=True)
+        # The scheduler parses in order (warm-start cache), encodes in the
+        # background, and applies back-pressure at twice its configured
+        # worker depth — the producer cannot outrun compression forever.
+        self._scheduler.submit(block)
 
-    def _compress_one(self, block: LogBlock) -> int:
-        name = f"block-{block.block_id:08d}.lgcb"
-        data = compress_block(block, self.config).serialize()
-        self.store.put(name, data)
-        return len(data)
+    # ------------------------------------------------------------------
+    # accounting (delegated to the scheduler)
+    # ------------------------------------------------------------------
+    @property
+    def raw_bytes(self) -> int:
+        return self._scheduler.raw_bytes
 
-    def _reap(self, block_on_full: bool) -> None:
-        """Collect finished futures; bound the in-flight pipeline."""
-        still_pending: List[Future] = []
-        for future in self._pending:
-            if future.done():
-                self.compressed_bytes += future.result()
-                self.blocks += 1
-            else:
-                still_pending.append(future)
-        self._pending = still_pending
-        # Back-pressure: never let the pipeline grow without bound (the
-        # producer must not outrun compression forever).
-        max_inflight = self._pool._max_workers * 2
-        while block_on_full and len(self._pending) > max_inflight:
-            future = self._pending.pop(0)
-            self.compressed_bytes += future.result()
-            self.blocks += 1
+    @property
+    def compressed_bytes(self) -> int:
+        return self._scheduler.compressed_bytes
+
+    @property
+    def blocks(self) -> int:
+        return self._scheduler.blocks
 
     @property
     def backlog(self) -> int:
-        """Blocks submitted but not yet compressed."""
-        return sum(0 if f.done() else 1 for f in self._pending)
+        """Blocks submitted but not yet committed to the store."""
+        return self._scheduler.backlog
 
     # ------------------------------------------------------------------
     def flush(self) -> CompressionReport:
-        """Drain the pipeline (including the partial tail block)."""
+        """Drain the pipeline (including the partial tail block).
+
+        Reports are **cumulative**: every flush covers the whole stream
+        so far — ``blocks``/``raw_bytes``/``compressed_bytes`` are totals
+        since construction and ``elapsed`` is wall-clock since
+        construction, so ``speed_mb_s`` is the average ingest throughput
+        of the stream.  Repeated flushes never double-count; each later
+        report only grows by the newly appended data.
+
+        Note that flushing mid-stream seals the current partial block
+        early, so archives produced with interim flushes may split
+        blocks differently from one-shot batch compression.
+        """
         self._submit_block()
-        for future in self._pending:
-            self.compressed_bytes += future.result()
-            self.blocks += 1
-        self._pending = []
+        self._scheduler.drain()
         elapsed = time.perf_counter() - self._start
         return CompressionReport(
             self.blocks, self.raw_bytes, self.compressed_bytes, elapsed
         )
 
     def close(self) -> CompressionReport:
+        """Flush, release the worker pool, and reject further appends."""
         report = self.flush()
-        self._pool.shutdown(wait=True)
+        self._scheduler.close()
         self._closed = True
         return report
 

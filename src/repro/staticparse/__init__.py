@@ -1,8 +1,10 @@
-"""Static-pattern substrate: templates, the sampling miner and the block
-parser that produces groups of variable vectors."""
+"""Static-pattern substrate: templates, the sampling miner, the block
+parser that produces groups of variable vectors, and the cross-block
+template warm-start cache."""
 
+from .cache import TemplateCache, TemplateKey, template_key
 from .miner import TemplateMiner, mine_templates
-from .parser import BlockParser, Group, ParsedBlock
+from .parser import BlockParser, Group, ParsedBlock, ParseOutcome
 from .template import VAR_MARK, Template
 
 __all__ = [
@@ -13,4 +15,8 @@ __all__ = [
     "BlockParser",
     "Group",
     "ParsedBlock",
+    "ParseOutcome",
+    "TemplateCache",
+    "TemplateKey",
+    "template_key",
 ]

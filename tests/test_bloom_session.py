@@ -58,6 +58,58 @@ class TestBloomFilter:
                     assert bloom.might_contain_text(fragment)
 
 
+class TestBloomShortLines:
+    """Lines shorter than three characters produce no trigrams at all.
+
+    The resulting filter is the MIN_BITS all-zero bloom, which must stay
+    *sound*: it may (and does) prune every keyword of length ≥ 3, while
+    shorter keywords — which trigram pruning cannot check — pass through
+    to the exact match stages.
+    """
+
+    SHORT_LINES = ["a", "ab", "x", "yz", "q", "no"] * 40
+
+    def test_empty_bloom_from_short_lines(self):
+        grams = set()
+        for line in self.SHORT_LINES:
+            grams |= trigrams(line)
+        assert grams == set()
+        bloom = BloomFilter.build(grams)
+        assert not bloom.might_contain_text("ERROR")  # sound prune
+        assert bloom.might_contain_text("ab")  # too short to check
+
+    @pytest.fixture(scope="class")
+    def store(self):
+        lg = LogGrep(config=BLOOM_CONFIG)
+        lg.compress(self.SHORT_LINES)
+        return lg
+
+    def test_long_keyword_prunes_every_block(self, store):
+        result = store.grep("ERROR")
+        assert result.count == 0
+        assert result.stats.blocks_pruned == len(store.store.names())
+        assert result.stats.capsules_decompressed == 0
+
+    def test_short_keyword_still_matches(self, store):
+        for keyword in ("ab", "yz", "a"):
+            assert store.grep(keyword).lines == grep_lines(
+                keyword, self.SHORT_LINES
+            )
+
+    def test_round_trip_exact(self, store):
+        assert store.decompress_all() == self.SHORT_LINES
+
+    def test_mixed_block_keeps_long_lines_findable(self):
+        """Short lines sharing a block with normal lines must not mask
+        the normal lines' trigrams."""
+        lines = ["a", "ERROR write failed", "ab", "all systems nominal"] * 30
+        lg = LogGrep(config=BLOOM_CONFIG)
+        lg.compress(lines)
+        assert lg.grep("ERROR").lines == grep_lines("ERROR", lines)
+        assert lg.grep("nominal").count == 30
+        assert lg.decompress_all() == lines
+
+
 class TestCommandFilter:
     BLOOM = BloomFilter.build(trigrams("ERROR write failed code=3"))
 

@@ -54,6 +54,32 @@ class TestStreamingCompressor:
         assert reader.grep("ERROR").lines == grep_lines("ERROR", lines)
         assert reader.grep("ERROR").count >= first
 
+    def test_flush_reports_are_cumulative(self):
+        """flush() reports totals since construction, never double-counted:
+        compressed_bytes always equals what the store actually holds."""
+        lines = make_mixed_lines(600, seed=12)
+        store = MemoryStore()
+        stream = StreamingCompressor(store=store, config=CONFIG)
+        stream.extend(lines[:300])
+        first = stream.flush()
+        assert first.compressed_bytes == store.total_bytes()
+        assert first.raw_bytes == sum(len(l) + 1 for l in lines[:300])
+
+        stream.extend(lines[300:])
+        second = stream.flush()
+        # Cumulative, not per-interval: the second report covers the whole
+        # stream and grows only by the newly appended data.
+        assert second.blocks >= first.blocks
+        assert second.raw_bytes == sum(len(l) + 1 for l in lines)
+        assert second.compressed_bytes == store.total_bytes()
+        # Elapsed is wall-clock since construction, so it is monotone and
+        # speed_mb_s reads as average throughput of the stream so far.
+        assert second.elapsed >= first.elapsed > 0
+
+        final = stream.close()
+        assert final.blocks == second.blocks
+        assert final.compressed_bytes == store.total_bytes()
+
     def test_append_after_close_rejected(self):
         stream = StreamingCompressor(config=CONFIG)
         stream.close()
