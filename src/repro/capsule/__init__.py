@@ -12,11 +12,13 @@ from .assembler import (
     encode_plain,
     encode_vector,
 )
+from . import scan
 from .box import CapsuleBox, GroupBox
-from .capsule import Capsule, LAYOUT_FIXED, LAYOUT_VARIABLE
+from .capsule import Capsule, LAYOUT_FIXED, LAYOUT_REGION, LAYOUT_VARIABLE
 from .stamp import CapsuleStamp
 
 __all__ = [
+    "scan",
     "Capsule",
     "CapsuleStamp",
     "CapsuleBox",
@@ -32,5 +34,6 @@ __all__ = [
     "ENC_NOMINAL",
     "ENC_PLAIN",
     "LAYOUT_FIXED",
+    "LAYOUT_REGION",
     "LAYOUT_VARIABLE",
 ]

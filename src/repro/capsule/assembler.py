@@ -50,6 +50,9 @@ class EncodingOptions:
     sample_rate: float = 0.05
     preset: int = 1
     seed: int = 0
+    #: Speed-tier codec choice (zlib when LZMA's ratio edge is small);
+    #: off by default so archives stay byte-identical to earlier versions.
+    codec_speed_tier: bool = False
 
 
 @dataclass
@@ -176,19 +179,30 @@ def _encode_nominal(
         widths.append(dict_pattern.width)
         slot += dict_pattern.count
 
+    speed_tier = options.codec_speed_tier
     if options.use_padding:
-        dict_capsule = Capsule.pack_regions(regions, widths, options.preset)
+        dict_capsule = Capsule.pack_regions(
+            regions, widths, options.preset, speed_tier=speed_tier
+        )
     else:
-        dict_capsule = Capsule.pack_variable(encoding.dict_values, options.preset)
+        dict_capsule = Capsule.pack_variable(
+            encoding.dict_values, options.preset, speed_tier=speed_tier
+        )
 
     index_values = [str(i).zfill(encoding.index_width) for i in encoding.index]
     index_stamp = CapsuleStamp.of_values(index_values)
     if options.use_padding:
         index_capsule = Capsule.pack_fixed(
-            index_values, options.preset, index_stamp, width=encoding.index_width
+            index_values,
+            options.preset,
+            index_stamp,
+            width=encoding.index_width,
+            speed_tier=speed_tier,
         )
     else:
-        index_capsule = Capsule.pack_variable(index_values, options.preset, index_stamp)
+        index_capsule = Capsule.pack_variable(
+            index_values, options.preset, index_stamp, speed_tier=speed_tier
+        )
 
     return NominalEncodedVector(
         encoding.patterns,
@@ -202,5 +216,9 @@ def _encode_nominal(
 
 def _pack(values: Sequence[str], options: EncodingOptions) -> Capsule:
     if options.use_padding:
-        return Capsule.pack_fixed(values, options.preset)
-    return Capsule.pack_variable(values, options.preset)
+        return Capsule.pack_fixed(
+            values, options.preset, speed_tier=options.codec_speed_tier
+        )
+    return Capsule.pack_variable(
+        values, options.preset, speed_tier=options.codec_speed_tier
+    )

@@ -22,7 +22,7 @@ from __future__ import annotations
 import lzma
 import zlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..common.binio import BinaryReader, BinaryWriter
 from ..common.errors import CompressionError, FormatError
@@ -38,9 +38,16 @@ LAYOUT_REGION = 2  # per-pattern regions of differing widths (dictionaries)
 
 #: Codecs.  RAW is chosen automatically when compression does not pay off
 #: (tiny Capsules), which both shrinks archives and speeds up queries.
+#: ZLIB is the speed-tier choice: picked (opt-in) when LZMA's ratio edge
+#: over zlib is below :data:`ZLIB_MARGIN`, trading a sliver of ratio for
+#: much faster decompression on the query path.
 CODEC_RAW = 0
 CODEC_LZMA = 1
 CODEC_ZLIB = 2
+
+#: Speed-tier threshold: choose zlib when ``len(lzma) >= ZLIB_MARGIN *
+#: len(zlib)`` — i.e. LZMA shrinks the payload less than 10% beyond zlib.
+ZLIB_MARGIN = 0.9
 
 _LZMA_FILTERS_BY_PRESET = {
     preset: [{"id": lzma.FILTER_LZMA2, "preset": preset}] for preset in range(10)
@@ -88,6 +95,7 @@ class Capsule:
         preset: int = 1,
         stamp: Optional[CapsuleStamp] = None,
         width: Optional[int] = None,
+        speed_tier: bool = False,
     ) -> "Capsule":
         """Pack *values* NUL-padded to a common width (§5.2)."""
         encoded = [_encode(v) for v in values]
@@ -95,7 +103,7 @@ class Capsule:
             width = max((len(e) for e in encoded), default=0)
         buf = b"".join(e.ljust(width, PAD) for e in encoded)
         stamp = stamp or CapsuleStamp.of_values(values)
-        codec, payload = _choose_codec(buf, preset)
+        codec, payload = _choose_codec(buf, preset, speed_tier)
         return cls(LAYOUT_FIXED, width, len(values), stamp, codec, preset, payload)
 
     @classmethod
@@ -104,12 +112,13 @@ class Capsule:
         values: Sequence[str],
         preset: int = 1,
         stamp: Optional[CapsuleStamp] = None,
+        speed_tier: bool = False,
     ) -> "Capsule":
         """Pack *values* NUL-separated (the w/o-fixed ablation layout)."""
         encoded = [_encode(v) for v in values]
         buf = PAD.join(encoded)
         stamp = stamp or CapsuleStamp.of_values(values)
-        codec, payload = _choose_codec(buf, preset)
+        codec, payload = _choose_codec(buf, preset, speed_tier)
         return cls(LAYOUT_VARIABLE, 0, len(values), stamp, codec, preset, payload)
 
     @classmethod
@@ -118,6 +127,7 @@ class Capsule:
         regions: Sequence[Sequence[str]],
         widths: Sequence[int],
         preset: int = 1,
+        speed_tier: bool = False,
     ) -> "Capsule":
         """Pack a dictionary vector: concatenated per-pattern padded regions.
 
@@ -138,7 +148,7 @@ class Capsule:
                 all_values.append(value)
         buf = b"".join(parts)
         stamp = CapsuleStamp.of_values(all_values)
-        codec, payload = _choose_codec(buf, preset)
+        codec, payload = _choose_codec(buf, preset, speed_tier)
         return cls(LAYOUT_REGION, 0, len(all_values), stamp, codec, preset, payload)
 
     # ------------------------------------------------------------------
@@ -197,9 +207,46 @@ class Capsule:
                 plain[i * self.width : (i + 1) * self.width].rstrip(PAD).decode("utf-8")
                 for i in range(self.count)
             ]
+        return [part.decode("utf-8") for part in self._variable_parts()]
+
+    def values_bytes(self) -> List[bytes]:
+        """All values as raw (unpadded) bytes — no UTF-8 decode.
+
+        The byte-level scan paths use this to test rendered values without
+        materializing strings; only surviving rows are ever decoded.
+        """
+        plain = self.plain()
+        if self.layout == LAYOUT_REGION:
+            raise FormatError(
+                "region-packed capsules need region metadata to list values"
+            )
+        if self.layout == LAYOUT_FIXED:
+            if self.width == 0:
+                return [b""] * self.count
+            return [
+                plain[i * self.width : (i + 1) * self.width].rstrip(PAD)
+                for i in range(self.count)
+            ]
+        return self._variable_parts()
+
+    def _variable_parts(self) -> List[bytes]:
+        """Split a NUL-separated payload, validating the value count.
+
+        A truncated payload that still passed (or bypassed) the CRC check
+        would otherwise silently yield the wrong number of rows; the count
+        is part of the (separately checksummed) metadata, so a mismatch is
+        definitive corruption.
+        """
+        plain = self.plain()
         if not self.count:
             return []
-        return [part.decode("utf-8") for part in plain.split(PAD)]
+        parts = plain.split(PAD)
+        if len(parts) != self.count:
+            raise FormatError(
+                f"variable capsule payload holds {len(parts)} value(s), "
+                f"expected {self.count}"
+            )
+        return parts
 
     def region_value(self, offset_bytes: int, width: int) -> str:
         """Fetch one value of a region-packed dictionary Capsule."""
@@ -267,11 +314,26 @@ def _encode(value: str) -> bytes:
     return encoded
 
 
-def _choose_codec(buf: bytes, preset: int) -> tuple:
-    """LZMA unless the payload is tiny or incompressible."""
+def _choose_codec(
+    buf: bytes, preset: int, speed_tier: bool = False
+) -> Tuple[int, bytes]:
+    """Pick a codec for *buf*: LZMA unless the payload is tiny or
+    incompressible.
+
+    With ``speed_tier`` (config ``codec_speed_tier``, off by default so
+    existing archives are byte-identical), zlib is preferred whenever
+    LZMA's ratio edge over it is under :data:`ZLIB_MARGIN` — zlib inflates
+    several times faster, which the query path pays on every Capsule the
+    Locator could not filter.
+    """
     if len(buf) < 32:
         return CODEC_RAW, buf
-    compressed = _lzma_compress(buf, preset)
-    if len(compressed) >= len(buf):
+    lzma_payload = _lzma_compress(buf, preset)
+    codec, payload = CODEC_LZMA, lzma_payload
+    if speed_tier:
+        zlib_payload = zlib.compress(buf, 6)
+        if len(lzma_payload) >= ZLIB_MARGIN * len(zlib_payload):
+            codec, payload = CODEC_ZLIB, zlib_payload
+    if len(payload) >= len(buf):
         return CODEC_RAW, buf
-    return CODEC_LZMA, compressed
+    return codec, payload

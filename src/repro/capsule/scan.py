@@ -1,0 +1,291 @@
+"""Byte-level Capsule scan kernels (paper §5.2).
+
+The paper's query-speed argument rests on one invariant: values inside a
+Capsule are NUL-padded to a fixed width, so a match at byte offset ``p``
+belongs to row ``p // width`` in O(1).  These kernels exploit that
+invariant directly on the decompressed payload bytes — no per-row slice,
+no ``rstrip``, no UTF-8 decode — the same trick CLP uses to grep
+compressed segments without materializing them.
+
+Three kernels cover the three payload layouts:
+
+* :func:`scan_fixed` — fixed layout.  SUBSTRING hops between candidate
+  offsets with ``bytes.find`` (CPython's C two-way search) and maps each
+  in-cell hit to its row by alignment arithmetic; PREFIX/EXACT probe only
+  stride-aligned offsets; SUFFIX checks that a hit ends exactly at the
+  value's padded tail.  After a row is emitted the search resumes at the
+  next cell boundary, so a dense column is still visited once per row at
+  most.
+* :func:`scan_regions` — region layout (dictionary Capsules).  Applies
+  the fixed kernel per pattern region, with each region's start byte
+  computed by the §5.2 offset formula ``Σ count_i · width_i``.
+* :func:`scan_variable` — NUL-delimited layout (the ``w/o fixed``
+  ablation and LogGrep-SP).  A ``memoryview`` over the payload compares
+  value slices without copying; SUBSTRING still hops with ``bytes.find``
+  and recovers rows by bisecting the offsets table.
+
+:func:`check_rows_fixed` is §5.2's *direct checking*: candidate rows found
+in one Capsule are probed at their exact byte ranges in another, without
+any scan.
+
+Modes are passed as the strings ``"exact" | "prefix" | "suffix" |
+"substring"`` (the values of ``repro.query.modes.MatchMode``) so this
+storage-layer module never imports the query layer.
+
+Correctness note: values cannot contain NUL (the packer enforces it), so a
+needle match that fits inside a cell lies entirely within the real,
+unpadded value — padding bytes can never be part of a match.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+from .capsule import PAD
+
+MODE_EXACT = "exact"
+MODE_PREFIX = "prefix"
+MODE_SUFFIX = "suffix"
+MODE_SUBSTRING = "substring"
+
+MODES = (MODE_EXACT, MODE_PREFIX, MODE_SUFFIX, MODE_SUBSTRING)
+
+#: ``bytes.find`` accepts an integer needle for single bytes.
+_NUL = 0
+
+
+def scan_fixed(
+    plain: bytes, width: int, count: int, needle: bytes, mode: str
+) -> List[int]:
+    """Rows of a fixed-layout payload whose value matches *needle*.
+
+    ``plain`` is the decompressed payload (``count`` cells of ``width``
+    bytes each); rows are returned in increasing order, each at most once.
+    """
+    return scan_region(plain, 0, width, count, needle, mode)
+
+
+def scan_region(
+    plain: bytes,
+    base: int,
+    width: int,
+    count: int,
+    needle: bytes,
+    mode: str,
+) -> List[int]:
+    """:func:`scan_fixed` over the ``count · width`` bytes at *base*.
+
+    Rows are local to the region (0-based).  This is the §5.2 direct jump:
+    a dictionary region is scanned in place, no slice copied out.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown scan mode {mode!r}; pick one of {MODES}")
+    if count == 0:
+        return []
+    flen = len(needle)
+    if width == 0:
+        # Every value is the empty string: only the empty needle matches.
+        return list(range(count)) if flen == 0 else []
+    if flen > width:
+        return []
+    if flen == 0:
+        if mode != MODE_EXACT:
+            return list(range(count))  # "" occurs in every value
+        return [
+            row for row in range(count) if plain[base + row * width] == _NUL
+        ]
+    end = base + count * width
+    if mode == MODE_SUBSTRING:
+        return _scan_substring(plain, base, width, needle, flen, end)
+    if mode == MODE_PREFIX:
+        return _scan_aligned(plain, base, width, needle, end)
+    if mode == MODE_EXACT:
+        target = needle if flen == width else needle.ljust(width, PAD)
+        return _scan_aligned(plain, base, width, target, end)
+    return _scan_suffix(plain, base, width, needle, flen, end)
+
+
+def _scan_substring(
+    plain: bytes, base: int, width: int, needle: bytes, flen: int, end: int
+) -> List[int]:
+    """Hop between ``bytes.find`` hits; keep those that fit in one cell."""
+    out: List[int] = []
+    pos = plain.find(needle, base, end)
+    while pos != -1:
+        row = (pos - base) // width
+        cell_end = base + (row + 1) * width
+        if pos + flen <= cell_end:
+            out.append(row)
+            pos = plain.find(needle, cell_end, end)
+        else:
+            pos = plain.find(needle, pos + 1, end)
+    return out
+
+
+def _scan_aligned(
+    plain: bytes, base: int, width: int, target: bytes, end: int
+) -> List[int]:
+    """Hits that start exactly at a cell boundary (PREFIX / padded EXACT).
+
+    A misaligned hit in row *r* proves the aligned offset of row *r* was
+    already passed over, so the search can resume at the next cell — the
+    stride-aligned hop that keeps the scan sub-linear on sparse columns.
+    """
+    out: List[int] = []
+    pos = plain.find(target, base, end)
+    while pos != -1:
+        row = (pos - base) // width
+        if pos == base + row * width:
+            out.append(row)
+        pos = plain.find(target, base + (row + 1) * width, end)
+    return out
+
+
+def _scan_suffix(
+    plain: bytes, base: int, width: int, needle: bytes, flen: int, end: int
+) -> List[int]:
+    """Hits that end exactly where the value's padding begins."""
+    out: List[int] = []
+    pos = plain.find(needle, base, end)
+    while pos != -1:
+        row = (pos - base) // width
+        cell_end = base + (row + 1) * width
+        hit_end = pos + flen
+        if hit_end <= cell_end and (
+            hit_end == cell_end or plain[hit_end] == _NUL
+        ):
+            # A value has exactly one suffix position; skip to the next cell.
+            out.append(row)
+            pos = plain.find(needle, cell_end, end)
+        else:
+            pos = plain.find(needle, pos + 1, end)
+    return out
+
+
+def check_rows_fixed(
+    plain: bytes,
+    width: int,
+    rows: Sequence[int],
+    needle: bytes,
+    mode: str,
+) -> List[int]:
+    """§5.2 direct checking: probe only *rows*, no scan.
+
+    Each candidate row's cell is tested in place with ``memoryview``
+    slice comparisons — the padded tail is located with a bounded
+    ``bytes.find`` for the first NUL rather than ``rstrip`` copies.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown scan mode {mode!r}; pick one of {MODES}")
+    flen = len(needle)
+    if width == 0:
+        return list(rows) if flen == 0 else []
+    if flen > width:
+        return []
+    view = memoryview(plain)
+    out: List[int] = []
+    for row in rows:
+        start = row * width
+        cell_end = start + width
+        value_end = plain.find(_NUL, start, cell_end)
+        if value_end == -1:
+            value_end = cell_end
+        vlen = value_end - start
+        if mode == MODE_EXACT:
+            hit = vlen == flen and view[start:value_end] == needle
+        elif mode == MODE_PREFIX:
+            hit = vlen >= flen and view[start : start + flen] == needle
+        elif mode == MODE_SUFFIX:
+            hit = vlen >= flen and view[value_end - flen : value_end] == needle
+        else:
+            hit = plain.find(needle, start, value_end) != -1 if flen else True
+        if hit:
+            out.append(row)
+    return out
+
+
+def scan_regions(
+    plain: bytes,
+    regions: Sequence[Tuple[int, int]],
+    needle: bytes,
+    mode: str,
+) -> List[int]:
+    """Matching slots of a region-packed dictionary payload.
+
+    ``regions`` is the ordered ``(count, width)`` table of the dictionary's
+    patterns; region *j* starts at byte ``Σ_{i<j} count_i · width_i`` and
+    its slots are numbered after ``Σ_{i<j} count_i``.  Returns global slot
+    indices in increasing order.
+    """
+    out: List[int] = []
+    byte = 0
+    slot = 0
+    for count, width in regions:
+        for local in scan_region(plain, byte, width, count, needle, mode):
+            out.append(slot + local)
+        byte += count * width
+        slot += count
+    return out
+
+
+def scan_variable(
+    plain: bytes,
+    offsets: Sequence[int],
+    count: int,
+    needle: bytes,
+    mode: str,
+) -> List[int]:
+    """Rows of a NUL-delimited payload whose value matches *needle*.
+
+    ``offsets[i]`` is the start byte of value *i* (one past the previous
+    separator); value *i* ends one byte before ``offsets[i+1]``, the last
+    at ``len(plain)``.  Slice comparisons go through one shared
+    ``memoryview``, so no per-row bytes objects are materialized.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown scan mode {mode!r}; pick one of {MODES}")
+    if count == 0:
+        return []
+    flen = len(needle)
+    total = len(plain)
+
+    def value_end(row: int) -> int:
+        return offsets[row + 1] - 1 if row + 1 < count else total
+
+    if flen == 0:
+        if mode != MODE_EXACT:
+            return list(range(count))
+        return [row for row in range(count) if value_end(row) == offsets[row]]
+
+    if mode == MODE_SUBSTRING:
+        out: List[int] = []
+        pos = plain.find(needle)
+        while pos != -1:
+            row = bisect_right(offsets, pos) - 1
+            end = value_end(row)
+            if pos + flen <= end:
+                out.append(row)
+                # Next value starts right after this one's separator.
+                pos = plain.find(needle, end + 1) if end + 1 < total else -1
+            else:
+                pos = plain.find(needle, pos + 1)
+        return out
+
+    view = memoryview(plain)
+    out = []
+    for row in range(count):
+        start = offsets[row]
+        end = value_end(row)
+        vlen = end - start
+        if vlen < flen:
+            continue
+        if mode == MODE_EXACT:
+            hit = vlen == flen and view[start:end] == needle
+        elif mode == MODE_PREFIX:
+            hit = view[start : start + flen] == needle
+        else:  # MODE_SUFFIX
+            hit = view[end - flen : end] == needle
+        if hit:
+            out.append(row)
+    return out

@@ -72,6 +72,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "-j", "--parallelism", type=int, default=1, metavar="N",
         help="query blocks on an N-thread pool (default: 1, serial)",
     )
+    grep.add_argument(
+        "--scan-kernel", choices=("bytes", "python"), default=None,
+        help="capsule matching kernel: direct byte-level scanning (default) "
+        "or the original per-position python path",
+    )
 
     stats = sub.add_parser("stats", help="show archive statistics")
     stats.add_argument("-a", "--archive", required=True, help="archive directory")
@@ -144,7 +149,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "grep":
-        lg = _open(args.archive, query_parallelism=args.parallelism)
+        overrides = {"query_parallelism": args.parallelism}
+        if args.scan_kernel is not None:
+            overrides["scan_kernel"] = args.scan_kernel
+        lg = _open(args.archive, **overrides)
         if args.count and not args.stats and not args.trace:
             # Counting skips reconstruction entirely (grep -c fast path).
             print(lg.count(args.query, ignore_case=args.ignore_case))

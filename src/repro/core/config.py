@@ -6,6 +6,7 @@ import os
 from dataclasses import dataclass, field, replace
 
 from ..capsule.assembler import EncodingOptions
+from ..query.matcher import SCAN_KERNELS
 from ..query.vectors import QuerySettings
 
 
@@ -16,6 +17,11 @@ def _default_compress_parallelism() -> int:
 
 def _default_compress_executor() -> str:
     return os.environ.get("LOGGREP_COMPRESS_EXECUTOR", "thread")
+
+
+def _default_scan_kernel() -> str:
+    """CI runs the suite once with the legacy kernel via this variable."""
+    return os.environ.get("LOGGREP_SCAN_KERNEL", "bytes")
 
 #: Names of the five ablated versions evaluated in Fig 9.
 ABLATIONS = ("w/o real", "w/o nomi", "w/o stamp", "w/o fixed", "w/o cache")
@@ -65,13 +71,29 @@ class LogGrepConfig:
     template_warm_start: bool = True
     template_drift_threshold: float = 0.3
 
+    # -- codec tiering ----------------------------------------------------
+    # Opt-in: store a Capsule with zlib instead of LZMA when LZMA's ratio
+    # edge is below ZLIB_MARGIN — faster decompression on the query path
+    # at a small ratio cost.  Off by default so archives stay byte-
+    # identical to earlier versions.
+    codec_speed_tier: bool = False
+
     # -- query-side --------------------------------------------------------
     # The paper's fixed-length matcher is Boyer-Moore (§5.2); it is the
     # default so scan cost stays proportional to bytes scanned, which is
     # what makes the filtering techniques measurable.  "native" swaps in
     # CPython's C substring search for raw speed.
     engine: str = "boyer-moore"
+    # Scan kernel for fixed-length matching: "bytes" matches fragments
+    # directly on Capsule payload buffers (find hops + alignment
+    # arithmetic, §5.2); "python" is the original per-position path over
+    # the pluggable engines, kept as the differential-testing oracle.
+    scan_kernel: str = field(default_factory=_default_scan_kernel)
     cache_capacity: int = 4096
+    # Bound on decoded value columns retained across queries (counted in
+    # values, not entries); entries die with their Capsule, so the cache's
+    # lifetime rides the BoxCache LRU.
+    value_cache_values: int = 1 << 16
     # Bound on pinned deserialized CapsuleBoxes (refining sessions); the
     # LRU keeps a pin of a huge archive from holding every block at once.
     box_cache_capacity: int = 64
@@ -89,6 +111,7 @@ class LogGrepConfig:
             sample_rate=self.sample_rate,
             preset=self.preset,
             seed=self.seed if seed is None else seed,
+            codec_speed_tier=self.codec_speed_tier,
         )
 
     def query_settings(self) -> QuerySettings:
@@ -98,7 +121,16 @@ class LogGrepConfig:
         engine = self.engine
         if not self.use_padding and engine == "boyer-moore":
             engine = "kmp"
-        return QuerySettings(use_stamps=self.use_stamps, engine=engine)
+        if self.scan_kernel not in SCAN_KERNELS:
+            raise ValueError(
+                f"unknown scan kernel {self.scan_kernel!r}; "
+                f"pick one of {SCAN_KERNELS}"
+            )
+        return QuerySettings(
+            use_stamps=self.use_stamps,
+            engine=engine,
+            scan_kernel=self.scan_kernel,
+        )
 
 
 def ablated(name: str, base: LogGrepConfig = None) -> LogGrepConfig:

@@ -30,7 +30,7 @@ from ..capsule.box import CapsuleBox
 from ..common.rowset import RowSet
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
-from ..query.cache import QueryCache
+from ..query.cache import QueryCache, get_value_cache
 from ..query.executor import BoxCache, QueryExecutor, StoreBoxSource
 from ..query.plan import OutputMode
 from ..query.stats import QueryStats
@@ -91,6 +91,9 @@ class LogGrep:
             TemplateCache() if self.config.template_warm_start else None
         )
         self._box_cache = BoxCache(self.config.box_cache_capacity)
+        # The decoded-value cache is process-wide (entries die with their
+        # Capsules); the most recent instance re-bounds it.
+        get_value_cache().set_capacity(self.config.value_cache_values)
         self._executor = QueryExecutor(
             StoreBoxSource(self.store, self._box_cache),
             self.config,

@@ -1,4 +1,4 @@
-"""Query Cache (paper §3, §6.3).
+"""Query Cache (paper §3, §6.3) and the decoded-value cache.
 
 LogGrep keeps a hashmap from query text to located rows so that the
 *refining mode* — an engineer growing ``ERROR`` into ``ERROR AND x`` into
@@ -6,13 +6,25 @@ LogGrep keeps a hashmap from query text to located rows so that the
 string it has already located.  The cache is keyed per (block, search
 string) and stores group row sets, the exact intermediate the engine
 consumes, so cached entries compose under AND/OR/NOT for free.
+
+:class:`CapsuleValueCache` is the second cache of this module: a bounded
+LRU of *decoded* Capsule value columns.  With the bytes scan kernels,
+matching never decodes values — decoding happens only for surviving rows
+(reconstruction, wildcard verification, dictionary region reads), and
+those paths used to re-decode the same Capsule on every query.  The cache
+generalizes the ad-hoc per-reader dictionary cache that existed before:
+entries are keyed by Capsule identity, invalidated automatically when the
+Capsule is garbage-collected, so the cache's lifetime rides the existing
+BoxCache accounting — a box evicted from the BoxCache LRU drops its
+decoded columns with it.
 """
 
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..common.rowset import RowSet
 from ..obs.metrics import get_registry
@@ -88,3 +100,163 @@ class QueryCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+# ----------------------------------------------------------------------
+# decoded-value cache
+# ----------------------------------------------------------------------
+_VALUE_HITS = get_registry().counter(
+    "loggrep_value_cache_hits_total", "Decoded-value cache lookups that hit"
+)
+_VALUE_MISSES = get_registry().counter(
+    "loggrep_value_cache_misses_total", "Decoded-value cache lookups that missed"
+)
+_VALUE_EVICTIONS = get_registry().counter(
+    "loggrep_value_cache_evictions_total",
+    "Decoded-value columns evicted by the LRU bound",
+)
+_VALUE_ENTRIES = get_registry().gauge(
+    "loggrep_value_cache_entries", "Decoded Capsule columns currently cached"
+)
+_VALUE_VALUES = get_registry().gauge(
+    "loggrep_value_cache_values", "Individual decoded values currently cached"
+)
+
+#: Default bound on cached decoded values (not entries): one decoded value
+#: is roughly one short string, so this is a soft memory bound.
+DEFAULT_VALUE_CAPACITY = 1 << 16
+
+
+class CapsuleValueCache:
+    """A bounded LRU of decoded value columns, keyed by Capsule identity.
+
+    Keys are ``id(capsule)`` guarded by a ``weakref.finalize`` on the
+    Capsule: when a Capsule is garbage-collected (its CapsuleBox fell out
+    of the BoxCache LRU, or the query finished with an uncached box), its
+    entry is dropped, so a recycled ``id`` can never serve stale values.
+    The capacity bound counts decoded *values*, not entries, so one huge
+    column cannot masquerade as a single cheap slot.
+    """
+
+    def __init__(self, capacity_values: int = DEFAULT_VALUE_CAPACITY):
+        if capacity_values <= 0:
+            raise ValueError("value cache capacity must be positive")
+        self.capacity_values = capacity_values
+        self._entries: "OrderedDict[int, List[str]]" = OrderedDict()
+        self._finalizers: Dict[int, weakref.finalize] = {}
+        self._weight = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def get(
+        self, capsule: object, loader: Optional[Callable[[], List[str]]] = None
+    ) -> List[str]:
+        """The decoded values of *capsule*, decoding at most once.
+
+        ``loader`` overrides the default ``capsule.values()`` for layouts
+        that need extra metadata to decode (region-packed dictionaries).
+        Callers must not mutate the returned list.
+        """
+        key = id(capsule)
+        with self._lock:
+            values = self._entries.get(key)
+            if values is not None:
+                self._entries.move_to_end(key)
+                _VALUE_HITS.inc()
+                return values
+        _VALUE_MISSES.inc()
+        values = loader() if loader is not None else capsule.values()  # type: ignore[attr-defined]
+        self._store(capsule, key, values)
+        return values
+
+    def peek(self, capsule: object) -> Optional[List[str]]:
+        """The cached values of *capsule*, or None — never decodes."""
+        key = id(capsule)
+        with self._lock:
+            values = self._entries.get(key)
+            if values is not None:
+                self._entries.move_to_end(key)
+            return values
+
+    def value_at(self, capsule: object, row: int) -> str:
+        """One value of *capsule*: from the cached column when present,
+        otherwise a direct O(1) single-row fetch (no bulk decode)."""
+        values = self.peek(capsule)
+        if values is not None:
+            return values[row]
+        return capsule.value_at(row)  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def _store(self, capsule: object, key: int, values: List[str]) -> None:
+        weight = max(1, len(values))
+        if weight > self.capacity_values:
+            return  # larger than the whole cache: not worth caching
+        with self._lock:
+            if key not in self._entries:
+                self._weight += weight
+                self._finalizers[key] = weakref.finalize(
+                    capsule, self._discard, key
+                )
+            self._entries[key] = values
+            self._entries.move_to_end(key)
+            while self._weight > self.capacity_values and self._entries:
+                old_key, old_values = self._entries.popitem(last=False)
+                self._weight -= max(1, len(old_values))
+                finalizer = self._finalizers.pop(old_key, None)
+                if finalizer is not None:
+                    finalizer.detach()
+                _VALUE_EVICTIONS.inc()
+            self._publish_gauges()
+
+    def _discard(self, key: int) -> None:
+        """weakref.finalize callback: the Capsule was garbage-collected."""
+        with self._lock:
+            values = self._entries.pop(key, None)
+            if values is not None:
+                self._weight -= max(1, len(values))
+            self._finalizers.pop(key, None)
+            self._publish_gauges()
+
+    def _publish_gauges(self) -> None:
+        _VALUE_ENTRIES.set(len(self._entries))
+        _VALUE_VALUES.set(self._weight)
+
+    # ------------------------------------------------------------------
+    def set_capacity(self, capacity_values: int) -> None:
+        if capacity_values <= 0:
+            raise ValueError("value cache capacity must be positive")
+        with self._lock:
+            self.capacity_values = capacity_values
+            while self._weight > self.capacity_values and self._entries:
+                old_key, old_values = self._entries.popitem(last=False)
+                self._weight -= max(1, len(old_values))
+                finalizer = self._finalizers.pop(old_key, None)
+                if finalizer is not None:
+                    finalizer.detach()
+                _VALUE_EVICTIONS.inc()
+            self._publish_gauges()
+
+    def clear(self) -> None:
+        with self._lock:
+            for finalizer in self._finalizers.values():
+                finalizer.detach()
+            self._entries.clear()
+            self._finalizers.clear()
+            self._weight = 0
+            self._publish_gauges()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def cached_values(self) -> int:
+        return self._weight
+
+
+#: Process-wide decoded-value cache.  Capsule identity keys make sharing
+#: across LogGrep instances safe; LogGrep re-bounds it from its config.
+_VALUE_CACHE = CapsuleValueCache()
+
+
+def get_value_cache() -> CapsuleValueCache:
+    return _VALUE_CACHE

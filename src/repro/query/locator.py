@@ -50,14 +50,16 @@ def locate(
     fragment: str,
     mode: MatchMode,
     use_stamps: bool = True,
+    max_candidates: int = MAX_CANDIDATES,
 ) -> Optional[List[Candidate]]:
     """Enumerate the possible matches of *fragment* against *pattern*.
 
     ``stamps[i]`` is the stamp of sub-variable ``i``'s Capsule.  Returns a
     deduplicated candidate list, or :data:`TOO_COMPLEX` when the search
-    space exceeded :data:`MAX_CANDIDATES`.
+    space exceeded ``max_candidates`` (tests shrink the budget to force
+    the scan fallback on small vectors).
     """
-    locator = _Locator(pattern, stamps, use_stamps)
+    locator = _Locator(pattern, stamps, use_stamps, max_candidates)
     try:
         if mode is MatchMode.SUBSTRING:
             raw = locator.match_substring(fragment)
@@ -92,10 +94,12 @@ class _Locator:
         pattern: RuntimePattern,
         stamps: Sequence[CapsuleStamp],
         use_stamps: bool,
+        max_candidates: int = MAX_CANDIDATES,
     ):
         self.elements = pattern.elements
         self.stamps = stamps
         self.use_stamps = use_stamps
+        self.max_candidates = max_candidates
         self.produced = 0
         self._prefix_memo: Dict[Tuple[int, str], List[Candidate]] = {}
         self._suffix_memo: Dict[Tuple[int, str], List[Candidate]] = {}
@@ -114,7 +118,7 @@ class _Locator:
 
     def _budget(self, count: int = 1) -> None:
         self.produced += count
-        if self.produced > MAX_CANDIDATES:
+        if self.produced > self.max_candidates:
             raise _Exploded()
 
     # ------------------------------------------------------------------

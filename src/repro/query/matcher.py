@@ -2,12 +2,29 @@
 
 For the fixed layout, every value occupies ``width`` bytes, so:
 
-* Boyer–Moore can be used even though it skips characters — the hit row is
-  ``position // width``;
+* a hit at byte position ``p`` belongs to row ``p // width`` (O(1));
 * candidate rows from one Capsule can be *checked directly* in another
   Capsule without scanning it;
 * matches never silently cross value boundaries, because values cannot
   contain the NUL pad byte (bounds are still checked explicitly).
+
+Two scan kernels implement these rules, selected by
+``QuerySettings.scan_kernel`` (config ``scan_kernel``, env
+``LOGGREP_SCAN_KERNEL``):
+
+* ``"bytes"`` (default) — the kernels of :mod:`repro.capsule.scan`:
+  ``bytes.find`` hops over the padded payload with stride-aligned resume
+  points, memoryview slice comparison, zero per-row decoding.
+* ``"python"`` — the original per-position path over the pluggable search
+  engines of :mod:`repro.common.textalgo` (Boyer–Moore, the paper's
+  choice; KMP for the ``w/o fixed`` ablation; CPython ``find``).  Kept
+  selectable for fidelity experiments and as the differential-testing
+  oracle for the bytes kernels.
+
+Every scan is instrumented: ``loggrep_scan_rows_total`` counts rows
+covered, ``loggrep_scan_kernel_seconds`` records per-Capsule latency
+(both labelled by kernel), and a ``scan`` span nests under the Match
+operator when tracing is on.
 
 For the variable layout (the ``w/o fixed`` ablation and LogGrep-SP),
 values are NUL-separated and rows must be recovered by counting
@@ -17,13 +34,29 @@ padding exists to remove.
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_right
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
+from ..capsule import scan
 from ..capsule.capsule import LAYOUT_FIXED, PAD, Capsule
 from ..common.rowset import RowSet
 from ..common.textalgo import find_all
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .modes import MatchMode, value_matches
+
+#: Selectable scan kernels.
+SCAN_KERNELS = ("bytes", "python")
+
+_SCAN_ROWS = get_registry().counter(
+    "loggrep_scan_rows_total",
+    "Capsule rows covered by scan kernels, by kernel",
+)
+_SCAN_SECONDS = get_registry().histogram(
+    "loggrep_scan_kernel_seconds",
+    "Per-Capsule scan kernel latency, by kernel",
+)
 
 
 def search_capsule(
@@ -32,15 +65,65 @@ def search_capsule(
     mode: MatchMode,
     engine: str = "native",
     rows_hint: Optional[Sequence[int]] = None,
+    kernel: str = "python",
 ) -> RowSet:
     """Rows of *capsule* whose value matches *fragment* under *mode*.
 
     ``rows_hint`` (§5.2's direct checking) restricts the test to candidate
     rows found in another Capsule — only possible with the fixed layout.
+    ``kernel`` selects the bytes kernels or the original python path.
     """
+    if kernel not in SCAN_KERNELS:
+        raise ValueError(
+            f"unknown scan kernel {kernel!r}; pick one of {SCAN_KERNELS}"
+        )
+    covered = len(rows_hint) if rows_hint is not None else capsule.count
+    start = time.perf_counter()
+    with get_tracer().span(
+        "scan", kernel=kernel, mode=mode.value, rows=covered
+    ):
+        if kernel == "bytes":
+            result = _search_bytes(capsule, fragment, mode, rows_hint)
+        elif capsule.layout == LAYOUT_FIXED:
+            result = _search_fixed(capsule, fragment, mode, engine, rows_hint)
+        else:
+            result = _search_variable(capsule, fragment, mode, engine)
+    _SCAN_ROWS.inc(covered, kernel=kernel)
+    _SCAN_SECONDS.observe(time.perf_counter() - start, kernel=kernel)
+    return result
+
+
+def _search_bytes(
+    capsule: Capsule,
+    fragment: str,
+    mode: MatchMode,
+    rows_hint: Optional[Sequence[int]],
+) -> RowSet:
+    """Dispatch to the byte-level kernels of :mod:`repro.capsule.scan`."""
+    n = capsule.count
+    if n == 0:
+        return RowSet.empty(n)
+    needle = fragment.encode("utf-8")
+    plain = capsule.plain()
     if capsule.layout == LAYOUT_FIXED:
-        return _search_fixed(capsule, fragment, mode, engine, rows_hint)
-    return _search_variable(capsule, fragment, mode, engine)
+        if rows_hint is not None:
+            rows = scan.check_rows_fixed(
+                plain, capsule.width, rows_hint, needle, mode.value
+            )
+        else:
+            rows = scan.scan_fixed(
+                plain, capsule.width, n, needle, mode.value
+            )
+    else:
+        rows = scan.scan_variable(
+            plain, capsule._variable_offsets(), n, needle, mode.value
+        )
+    # Kernel rows are already in-universe; build the bitmap without the
+    # per-row bounds check of RowSet.add.
+    bits = 0
+    for row in rows:
+        bits |= 1 << row
+    return RowSet(n, bits)
 
 
 def _search_fixed(
@@ -139,7 +222,7 @@ def _search_variable(
 
     # Value boundaries: this offsets scan is the per-query cost that the
     # paper's fixed-length padding eliminates.
-    offsets = [0]
+    offsets: List[int] = [0]
     pos = buf.find(PAD)
     while pos != -1:
         offsets.append(pos + 1)

@@ -9,6 +9,7 @@ individual sub-variable vectors.
 from __future__ import annotations
 
 import enum
+from typing import AnyStr
 
 
 class MatchMode(enum.Enum):
@@ -20,8 +21,9 @@ class MatchMode(enum.Enum):
     SUBSTRING = "substring"
 
 
-def value_matches(value: str, fragment: str, mode: MatchMode) -> bool:
-    """Test *fragment* against a single concrete value."""
+def value_matches(value: AnyStr, fragment: AnyStr, mode: MatchMode) -> bool:
+    """Test *fragment* against a single concrete value (str or bytes —
+    the byte-level scan fallback matches rendered raw values directly)."""
     if mode is MatchMode.EXACT:
         return value == fragment
     if mode is MatchMode.PREFIX:

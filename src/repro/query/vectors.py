@@ -8,27 +8,41 @@ A reader answers two questions about one variable vector of one group:
 
 Readers translate between *capsule row space* (rows stored in a Capsule,
 excluding outliers) and *group row space* (entry rows of the group).
+
+Candidate filtering runs on payload **bytes** (``settings.scan_kernel ==
+"bytes"``, the default): the scan kernels of :mod:`repro.capsule.scan`
+match fragments directly against the padded buffers, dictionary regions
+are scanned in place with the §5.2 Σ count·width jump, and index Capsules
+are compared slot-by-slot as raw byte cells.  Only rows that survive
+matching are ever decoded, and those decoded columns are retained in the
+bounded :class:`~repro.query.cache.CapsuleValueCache` so wildcard
+verification, reconstruction and dictionary reads never re-decode the
+same Capsule across queries.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
+from ..capsule import scan
 from ..capsule.assembler import (
     NominalEncodedVector,
     PlainEncodedVector,
     RealEncodedVector,
 )
-from ..capsule.capsule import LAYOUT_FIXED, LAYOUT_REGION
+from ..capsule.capsule import LAYOUT_FIXED, LAYOUT_REGION, Capsule
 from ..capsule.stamp import CapsuleStamp
 from ..common.rowset import RowSet
 from ..common.textalgo import find_all
+from ..runtime.pattern import Const, RuntimePattern
+from .cache import get_value_cache
 from .locator import TOO_COMPLEX, locate
 from .matcher import search_capsule
 from .modes import MatchMode, value_matches
 from .stats import QueryStats, touch_capsule
+
+from dataclasses import dataclass
 
 
 @dataclass
@@ -37,6 +51,19 @@ class QuerySettings:
 
     use_stamps: bool = True
     engine: str = "native"
+    #: "bytes" = direct byte-level kernels (repro.capsule.scan);
+    #: "python" = the original per-position path over textalgo engines.
+    scan_kernel: str = "bytes"
+
+
+def _cached_values(capsule: Capsule) -> List[str]:
+    """Decoded values of *capsule* via the process-wide value cache."""
+    return get_value_cache().get(capsule)
+
+
+def _cached_value_at(capsule: Capsule, row: int) -> str:
+    """One decoded value: cached column when present, O(1) fetch otherwise."""
+    return get_value_cache().value_at(capsule, row)
 
 
 class RealVectorReader:
@@ -72,6 +99,22 @@ class RealVectorReader:
     @property
     def _num_matched(self) -> int:
         return self.num_rows - len(self.encoded.outlier_rows)
+
+    def _search_one(
+        self,
+        capsule: Capsule,
+        fragment: str,
+        mode: MatchMode,
+        rows_hint: Optional[Sequence[int]] = None,
+    ) -> RowSet:
+        return search_capsule(
+            capsule,
+            fragment,
+            mode,
+            self.settings.engine,
+            rows_hint=rows_hint,
+            kernel=self.settings.scan_kernel,
+        )
 
     # ------------------------------------------------------------------
     def search(self, fragment: str, mode: MatchMode) -> RowSet:
@@ -115,9 +158,7 @@ class RealVectorReader:
                     # §5.2 direct checking: probe only candidate rows.
                     hint = current.rows()
                 touch_capsule(capsule, self.stats)
-                rows = search_capsule(
-                    capsule, frag, frag_mode, self.settings.engine, rows_hint=hint
-                )
+                rows = self._search_one(capsule, frag, frag_mode, rows_hint=hint)
                 current = rows if current is None else current & rows
                 if not current:
                     break
@@ -129,12 +170,27 @@ class RealVectorReader:
                 result.add(mapping[crow])
 
     def _scan_matched(self, fragment: str, mode: MatchMode, result: RowSet) -> None:
-        """Correct-but-slow fallback: reconstruct and test every value."""
+        """Correct-but-slow fallback: reconstruct and test every value.
+
+        The bytes kernel renders and matches raw byte values — no UTF-8
+        decode, no string materialization beyond one ``bytes`` join per
+        row; the python kernel keeps the original string path.
+        """
         encoded = self.encoded
         for capsule in encoded.subvar_capsules:
             touch_capsule(capsule, self.stats)
-        columns = [capsule.values() for capsule in encoded.subvar_capsules]
         mapping = self._matched_rows()
+        if self.settings.scan_kernel == "bytes":
+            columns_b = [
+                capsule.values_bytes() for capsule in encoded.subvar_capsules
+            ]
+            render_b = _byte_renderer(encoded.pattern, columns_b)
+            needle = fragment.encode("utf-8")
+            for crow in range(self._num_matched):
+                if value_matches(render_b(crow), needle, mode):
+                    result.add(mapping[crow])
+            return
+        columns = [_cached_values(capsule) for capsule in encoded.subvar_capsules]
         for crow in range(self._num_matched):
             value = encoded.pattern.render([col[crow] for col in columns])
             if value_matches(value, fragment, mode):
@@ -148,18 +204,16 @@ class RealVectorReader:
             return
         # Outliers escaped the pattern, so every query must scan them.
         touch_capsule(encoded.outlier_capsule, self.stats)
-        rows = search_capsule(
-            encoded.outlier_capsule, fragment, mode, self.settings.engine
-        )
+        rows = self._search_one(encoded.outlier_capsule, fragment, mode)
         for orow in rows:
             result.add(encoded.outlier_rows[orow])
 
     # ------------------------------------------------------------------
     def search_wildcard(self, keyword, mode: MatchMode) -> RowSet:
         """Wildcard search: literal runs narrow the candidate rows through
-        the normal pattern/stamp machinery, then only those rows are
-        regex-verified — the structured analogue of index-assisted
-        wildcard matching."""
+        the normal pattern/stamp machinery (byte-level under the bytes
+        kernel), then only those rows are decoded and regex-verified —
+        the structured analogue of index-assisted wildcard matching."""
         result = RowSet.empty(self.num_rows)
         encoded = self.encoded
         regex = keyword.regex_for(mode)
@@ -177,7 +231,7 @@ class RealVectorReader:
                     result.add(row)
         if encoded.outlier_capsule is not None:
             touch_capsule(encoded.outlier_capsule, self.stats)
-            for orow, value in enumerate(encoded.outlier_capsule.values()):
+            for orow, value in enumerate(_cached_values(encoded.outlier_capsule)):
                 if regex.search(value):
                     result.add(encoded.outlier_rows[orow])
         return result
@@ -207,7 +261,7 @@ class RealVectorReader:
         encoded = self.encoded
         for capsule in encoded.subvar_capsules:
             touch_capsule(capsule, self.stats)
-        columns = [capsule.values() for capsule in encoded.subvar_capsules]
+        columns = [_cached_values(capsule) for capsule in encoded.subvar_capsules]
         render = encoded.pattern.render
         if not columns:
             return [render(())] * self._num_matched
@@ -218,10 +272,10 @@ class RealVectorReader:
         encoded = self.encoded
         if row in self._outlier_set:
             pos = bisect_left(encoded.outlier_rows, row)
-            return encoded.outlier_capsule.value_at(pos)
+            return _cached_value_at(encoded.outlier_capsule, pos)
         crow = row - bisect_left(encoded.outlier_rows, row)
         subvalues = [
-            capsule.value_at(crow) for capsule in encoded.subvar_capsules
+            _cached_value_at(capsule, crow) for capsule in encoded.subvar_capsules
         ]
         return encoded.pattern.render(subvalues)
 
@@ -229,12 +283,13 @@ class RealVectorReader:
         """Every value of the vector, decoded in bulk.
 
         Reconstruction of many rows amortizes one ``values()`` pass per
-        Capsule instead of per-row fetches.
+        Capsule instead of per-row fetches, and the decoded columns stay
+        in the value cache for subsequent queries.
         """
         encoded = self.encoded
         for capsule in encoded.subvar_capsules:
             touch_capsule(capsule, self.stats)
-        columns = [capsule.values() for capsule in encoded.subvar_capsules]
+        columns = [_cached_values(capsule) for capsule in encoded.subvar_capsules]
         render = encoded.pattern.render
         matched = iter(zip(*columns)) if columns else iter(())
         if not self._outlier_set:
@@ -242,7 +297,7 @@ class RealVectorReader:
                 constant = render(())
                 return [constant] * self.num_rows
             return [render(parts) for parts in matched]
-        outliers = encoded.outlier_capsule.values()
+        outliers = _cached_values(encoded.outlier_capsule)
         out: List[str] = []
         opos = 0
         for row in range(self.num_rows):
@@ -254,6 +309,24 @@ class RealVectorReader:
             else:
                 out.append(render(()))
         return out
+
+
+def _byte_renderer(
+    pattern: RuntimePattern, columns: List[List[bytes]]
+) -> Callable[[int], bytes]:
+    """Row → rendered raw-bytes value, constants encoded exactly once."""
+    pieces: List[Union[bytes, List[bytes]]] = [
+        el.text.encode("utf-8") if isinstance(el, Const) else columns[el.index]
+        for el in pattern.elements
+    ]
+
+    def render(crow: int) -> bytes:
+        return b"".join(
+            piece if isinstance(piece, bytes) else piece[crow]
+            for piece in pieces
+        )
+
+    return render
 
 
 class NominalVectorReader:
@@ -274,7 +347,6 @@ class NominalVectorReader:
         for dp in encoded.dict_patterns:
             self._region_slots.append(slot)
             slot += dp.count
-        self._dict_cache: Optional[List[str]] = None
 
     # ------------------------------------------------------------------
     def _pattern_stamps(self, dp) -> List[CapsuleStamp]:
@@ -283,31 +355,40 @@ class NominalVectorReader:
             for mask, maxlen in zip(dp.subvar_masks, dp.subvar_maxlens)
         ]
 
+    def _decode_dict(self) -> List[str]:
+        """Decode the whole dictionary (region metadata aware)."""
+        encoded = self.encoded
+        if encoded.dict_capsule.layout != LAYOUT_REGION:
+            return encoded.dict_capsule.values()
+        values: List[str] = []
+        byte = 0
+        for dp in encoded.dict_patterns:
+            for _ in range(dp.count):
+                values.append(encoded.dict_capsule.region_value(byte, dp.width))
+                byte += dp.width
+        return values
+
     def _dict_values(self) -> List[str]:
-        if self._dict_cache is None:
-            encoded = self.encoded
-            touch_capsule(encoded.dict_capsule, self.stats)
-            if encoded.dict_capsule.layout == LAYOUT_REGION:
-                values: List[str] = []
-                byte = 0
-                for dp in encoded.dict_patterns:
-                    for _ in range(dp.count):
-                        values.append(
-                            encoded.dict_capsule.region_value(byte, dp.width)
-                        )
-                        byte += dp.width
-                self._dict_cache = values
-            else:
-                self._dict_cache = encoded.dict_capsule.values()
-        return self._dict_cache
+        """The decoded dictionary, via the bounded CapsuleValueCache.
+
+        This generalizes the per-reader dictionary memo that used to live
+        here: the cache is shared across readers and queries and its
+        entries die with the Capsule (BoxCache eviction).
+        """
+        encoded = self.encoded
+        touch_capsule(encoded.dict_capsule, self.stats)
+        return get_value_cache().get(encoded.dict_capsule, self._decode_dict)
 
     def _region_values(self, pattern_idx: int) -> List[str]:
         """Values of one pattern's region — a direct Σ count·width jump."""
         encoded = self.encoded
         dp = encoded.dict_patterns[pattern_idx]
+        start = self._region_slots[pattern_idx]
         if encoded.dict_capsule.layout != LAYOUT_REGION:
-            start = self._region_slots[pattern_idx]
             return self._dict_values()[start : start + dp.count]
+        cached = get_value_cache().peek(encoded.dict_capsule)
+        if cached is not None:
+            return cached[start : start + dp.count]
         touch_capsule(encoded.dict_capsule, self.stats)
         byte = encoded.region_start_byte(pattern_idx)
         out = []
@@ -318,8 +399,18 @@ class NominalVectorReader:
 
     # ------------------------------------------------------------------
     def matching_slots(self, fragment: str, mode: MatchMode) -> List[int]:
-        """Dictionary slots whose value matches the fragment."""
+        """Dictionary slots whose value matches the fragment.
+
+        Under the bytes kernel, each surviving pattern's region is scanned
+        in place on the dictionary payload (§5.2 direct locating) — no
+        dictionary entry is decoded at all.
+        """
         encoded = self.encoded
+        use_bytes = (
+            self.settings.scan_kernel == "bytes"
+            and encoded.dict_capsule.layout == LAYOUT_REGION
+        )
+        needle = fragment.encode("utf-8") if use_bytes else b""
         slots: List[int] = []
         for pattern_idx, dp in enumerate(encoded.dict_patterns):
             candidates = locate(
@@ -333,6 +424,19 @@ class NominalVectorReader:
                 self.stats.capsules_filtered += 1
                 continue  # the pattern cannot produce the fragment
             base = self._region_slots[pattern_idx]
+            if use_bytes:
+                touch_capsule(encoded.dict_capsule, self.stats)
+                plain = encoded.dict_capsule.plain()
+                for local in scan.scan_region(
+                    plain,
+                    encoded.region_start_byte(pattern_idx),
+                    dp.width,
+                    dp.count,
+                    needle,
+                    mode.value,
+                ):
+                    slots.append(base + local)
+                continue
             for local, value in enumerate(self._region_values(pattern_idx)):
                 if value_matches(value, fragment, mode):
                     slots.append(base + local)
@@ -362,15 +466,22 @@ class NominalVectorReader:
         touch_capsule(encoded.index_capsule, self.stats)
         width = encoded.index_width
         capsule = encoded.index_capsule
+        use_bytes = self.settings.scan_kernel == "bytes"
         if capsule.layout == LAYOUT_FIXED and width > 0:
             buf = capsule.plain()
             if len(slots) <= 4:
                 # Selective dictionary hit: search each index number (§5.1).
                 for slot in slots:
                     target = str(slot).zfill(width).encode("utf-8")
-                    for pos in find_all(buf, target, self.settings.engine):
-                        if pos % width == 0:
-                            result.add(pos // width)
+                    if use_bytes:
+                        for row in scan.scan_fixed(
+                            buf, width, self.num_rows, target, scan.MODE_EXACT
+                        ):
+                            result.add(row)
+                    else:
+                        for pos in find_all(buf, target, self.settings.engine):
+                            if pos % width == 0:
+                                result.add(pos // width)
             else:
                 # Unselective keyword: one row-wise membership pass beats
                 # a separate scan per matching dictionary entry.
@@ -380,6 +491,19 @@ class NominalVectorReader:
                 for row in range(self.num_rows):
                     if buf[row * width : (row + 1) * width] in targets:
                         result.add(row)
+        elif use_bytes:
+            # Variable-layout index (w/o-fixed ablation): compare raw byte
+            # cells against the wanted (zero-filled) slot numbers, no decode.
+            targets = {str(slot).zfill(width).encode("utf-8") for slot in slots}
+            buf = capsule.plain()
+            view = memoryview(buf)
+            offsets = capsule._variable_offsets()
+            n = capsule.count
+            for row in range(n):
+                start = offsets[row]
+                end = offsets[row + 1] - 1 if row + 1 < n else len(buf)
+                if view[start:end] in targets:
+                    result.add(row)
         else:
             wanted = set(slots)
             for row, text in enumerate(capsule.values()):
@@ -391,7 +515,7 @@ class NominalVectorReader:
     def value_at(self, row: int) -> str:
         encoded = self.encoded
         touch_capsule(encoded.index_capsule, self.stats)
-        slot = int(encoded.index_capsule.value_at(row))
+        slot = int(_cached_value_at(encoded.index_capsule, row))
         return self._dict_values()[slot]
 
     def values_list(self) -> List[str]:
@@ -400,7 +524,8 @@ class NominalVectorReader:
         touch_capsule(encoded.index_capsule, self.stats)
         dictionary = self._dict_values()
         return [
-            dictionary[int(text)] for text in encoded.index_capsule.values()
+            dictionary[int(text)]
+            for text in _cached_values(encoded.index_capsule)
         ]
 
 
@@ -425,7 +550,13 @@ class PlainVectorReader:
             self.stats.capsules_filtered += 1
             return RowSet.empty(self.num_rows)
         touch_capsule(capsule, self.stats)
-        return search_capsule(capsule, fragment, mode, self.settings.engine)
+        return search_capsule(
+            capsule,
+            fragment,
+            mode,
+            self.settings.engine,
+            kernel=self.settings.scan_kernel,
+        )
 
     def search_wildcard(self, keyword, mode: MatchMode) -> RowSet:
         capsule = self.encoded.capsule
@@ -446,26 +577,30 @@ class PlainVectorReader:
             candidates: Optional[RowSet] = None
             for run in literals:
                 rows = search_capsule(
-                    capsule, run, MatchMode.SUBSTRING, self.settings.engine
+                    capsule,
+                    run,
+                    MatchMode.SUBSTRING,
+                    self.settings.engine,
+                    kernel=self.settings.scan_kernel,
                 )
                 candidates = rows if candidates is None else candidates & rows
                 if not candidates:
                     return result
             for row in candidates:
-                if regex.search(capsule.value_at(row)):
+                if regex.search(_cached_value_at(capsule, row)):
                     result.add(row)
             return result
-        for row, value in enumerate(capsule.values()):
+        for row, value in enumerate(_cached_values(capsule)):
             if regex.search(value):
                 result.add(row)
         return result
 
     def value_at(self, row: int) -> str:
-        return self.encoded.capsule.value_at(row)
+        return _cached_value_at(self.encoded.capsule, row)
 
     def values_list(self) -> List[str]:
         touch_capsule(self.encoded.capsule, self.stats)
-        return self.encoded.capsule.values()
+        return _cached_values(self.encoded.capsule)
 
 
 def make_reader(encoded, settings: QuerySettings, stats: QueryStats):

@@ -7,13 +7,14 @@ from hypothesis import strategies as st
 from repro.capsule.capsule import (
     CODEC_LZMA,
     CODEC_RAW,
+    CODEC_ZLIB,
     Capsule,
     LAYOUT_FIXED,
     LAYOUT_VARIABLE,
 )
 from repro.capsule.stamp import CapsuleStamp
 from repro.common.binio import BinaryReader, BinaryWriter
-from repro.common.errors import CompressionError
+from repro.common.errors import CompressionError, FormatError
 
 nul_free = st.text(
     alphabet=st.characters(
@@ -156,3 +157,81 @@ class TestCapsuleSerialization:
         assert loaded.values() == values
         assert loaded.stamp == capsule.stamp
         assert loaded.width == capsule.width
+
+
+class TestSpeedTierCodec:
+    def _zlib_wins_values(self):
+        # Low-redundancy payload: LZMA's edge over zlib stays under the
+        # margin, so the speed tier picks zlib.
+        import random
+
+        rng = random.Random(7)
+        return [
+            "".join(rng.choice("abcdefghij0123456789") for _ in range(12))
+            for _ in range(200)
+        ]
+
+    def test_default_never_emits_zlib(self):
+        capsule = Capsule.pack_fixed(self._zlib_wins_values())
+        assert capsule.codec != CODEC_ZLIB
+
+    def test_speed_tier_roundtrip(self):
+        values = self._zlib_wins_values()
+        for pack in (Capsule.pack_fixed, Capsule.pack_variable):
+            capsule = pack(values, speed_tier=True)
+            assert capsule.values() == values
+            w = BinaryWriter()
+            capsule.write(w)
+            loaded = Capsule.read(BinaryReader(w.getvalue()))
+            assert loaded.values() == values
+
+    def test_speed_tier_picks_zlib_when_margin_small(self):
+        capsule = Capsule.pack_fixed(self._zlib_wins_values(), speed_tier=True)
+        assert capsule.codec == CODEC_ZLIB
+
+    def test_speed_tier_keeps_lzma_when_it_wins(self):
+        # Redundancy with a period beyond zlib's 32 KB window: only LZMA
+        # can reference the earlier repetitions, so its margin is large.
+        import random
+
+        rng = random.Random(3)
+        uniques = [
+            "".join(rng.choice("abcdefghij0123456789") for _ in range(40))
+            for _ in range(1000)
+        ]
+        values = [uniques[i % 1000] for i in range(3000)]
+        capsule = Capsule.pack_fixed(values, speed_tier=True)
+        assert capsule.codec == CODEC_LZMA
+
+    def test_region_speed_tier_roundtrip(self):
+        values = self._zlib_wins_values()
+        capsule = Capsule.pack_regions([values], widths=[12], speed_tier=True)
+        assert [capsule.region_value(i * 12, 12) for i in range(len(values))] == values
+
+
+class TestVariablePayloadValidation:
+    def test_truncated_payload_rejected(self):
+        capsule = Capsule.pack_variable(["alpha", "beta", "gamma"])
+        plain = capsule.plain()
+        truncated = Capsule(
+            LAYOUT_VARIABLE, 0, 3, capsule.stamp, CODEC_RAW, 1,
+            plain[: plain.rindex(b"\x00")],
+        )
+        with pytest.raises(FormatError, match="expected 3"):
+            truncated.values()
+        with pytest.raises(FormatError, match="expected 3"):
+            truncated.values_bytes()
+
+    def test_extra_separator_rejected(self):
+        capsule = Capsule.pack_variable(["a", "b"])
+        padded = Capsule(
+            LAYOUT_VARIABLE, 0, 2, capsule.stamp, CODEC_RAW, 1,
+            capsule.plain() + b"\x00c",
+        )
+        with pytest.raises(FormatError, match="expected 2"):
+            padded.values()
+
+    def test_values_bytes_matches_values(self):
+        values = ["alpha", "", "b", "cc"]
+        for capsule in (Capsule.pack_fixed(values), Capsule.pack_variable(values)):
+            assert [b.decode() for b in capsule.values_bytes()] == values

@@ -122,3 +122,85 @@ class TestQueryCache:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             QueryCache(capacity=0)
+
+
+class TestCapsuleValueCache:
+    def _capsule(self, values):
+        from repro.capsule.capsule import Capsule
+
+        return Capsule.pack_fixed(values)
+
+    def test_decode_happens_once(self):
+        from repro.query.cache import CapsuleValueCache
+
+        cache = CapsuleValueCache(capacity_values=100)
+        capsule = self._capsule(["a", "bb", "ccc"])
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return capsule.values()
+
+        assert cache.get(capsule, loader) == ["a", "bb", "ccc"]
+        assert cache.get(capsule, loader) == ["a", "bb", "ccc"]
+        assert len(calls) == 1
+
+    def test_value_at_uses_cached_column(self):
+        from repro.query.cache import CapsuleValueCache
+
+        cache = CapsuleValueCache(capacity_values=100)
+        capsule = self._capsule(["x", "y"])
+        assert cache.value_at(capsule, 1) == "y"  # no column cached yet
+        cache.get(capsule)
+        assert cache.value_at(capsule, 0) == "x"
+
+    def test_capacity_counts_values_not_entries(self):
+        from repro.query.cache import CapsuleValueCache
+
+        cache = CapsuleValueCache(capacity_values=5)
+        big = self._capsule(["v"] * 4)
+        small = self._capsule(["w"] * 2)
+        cache.get(big)
+        cache.get(small)  # 4 + 2 > 5 → big (LRU) must go
+        assert cache.peek(big) is None
+        assert cache.peek(small) is not None
+        assert cache.cached_values == 2
+
+    def test_oversized_column_not_cached(self):
+        from repro.query.cache import CapsuleValueCache
+
+        cache = CapsuleValueCache(capacity_values=3)
+        capsule = self._capsule(["v"] * 10)
+        assert cache.get(capsule) == ["v"] * 10
+        assert len(cache) == 0
+
+    def test_entry_dies_with_capsule(self):
+        import gc
+
+        from repro.query.cache import CapsuleValueCache
+
+        cache = CapsuleValueCache(capacity_values=100)
+        capsule = self._capsule(["a", "b"])
+        cache.get(capsule)
+        assert len(cache) == 1
+        del capsule
+        gc.collect()
+        assert len(cache) == 0
+        assert cache.cached_values == 0
+
+    def test_set_capacity_shrinks(self):
+        from repro.query.cache import CapsuleValueCache
+
+        cache = CapsuleValueCache(capacity_values=100)
+        keep = [self._capsule([str(i)] * 4) for i in range(5)]
+        for capsule in keep:
+            cache.get(capsule)
+        cache.set_capacity(8)
+        assert cache.cached_values <= 8
+        assert cache.peek(keep[-1]) is not None  # most recent survives
+
+    def test_capacity_validation(self):
+        from repro.query.cache import CapsuleValueCache
+
+        with pytest.raises(ValueError):
+            CapsuleValueCache(capacity_values=0)

@@ -177,3 +177,15 @@ class TestComplexityGuard:
             pattern, stamps, "a-a-a-a-a-a-a-a", MatchMode.SUBSTRING, use_stamps=False
         )
         assert result is TOO_COMPLEX
+
+    def test_budget_is_tunable(self):
+        # The same enumeration succeeds with the default budget but trips
+        # a tiny one — lets tests force the fallback on small vectors.
+        pattern = pattern_from_fragments(["block_", None, "F8", None])
+        stamps = [CapsuleStamp.permissive()] * 2
+        ok = locate(pattern, stamps, "8F8F", MatchMode.SUBSTRING)
+        assert ok is not TOO_COMPLEX and ok
+        tiny = locate(
+            pattern, stamps, "8F8F", MatchMode.SUBSTRING, max_candidates=1
+        )
+        assert tiny is TOO_COMPLEX

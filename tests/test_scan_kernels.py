@@ -1,0 +1,156 @@
+"""Byte-level scan kernels vs the legacy python path (§5.2).
+
+The bytes kernels must be observationally identical to the original
+per-position matcher on every layout and every mode — the python path is
+kept selectable precisely to serve as the differential-testing oracle
+here.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capsule import scan
+from repro.capsule.capsule import Capsule
+from repro.core.config import LogGrepConfig
+from repro.core.loggrep import LogGrep
+from repro.query.matcher import search_capsule
+from repro.query.modes import MatchMode, value_matches
+
+values_strategy = st.lists(
+    st.text(alphabet="ab1F#", max_size=6), min_size=0, max_size=24
+)
+fragment_strategy = st.text(alphabet="ab1F#", max_size=4)
+mode_strategy = st.sampled_from(list(MatchMode))
+
+
+def naive_rows(values, fragment, mode):
+    return {r for r, v in enumerate(values) if value_matches(v, fragment, mode)}
+
+
+class TestKernelEquivalence:
+    """bytes kernel ≡ python kernel ≡ naive matching, property-checked."""
+
+    @given(values_strategy, fragment_strategy, mode_strategy)
+    @settings(max_examples=300)
+    def test_fixed_layout(self, values, fragment, mode):
+        capsule = Capsule.pack_fixed(values)
+        expected = naive_rows(values, fragment, mode)
+        py = set(search_capsule(capsule, fragment, mode, kernel="python"))
+        by = set(search_capsule(capsule, fragment, mode, kernel="bytes"))
+        assert by == py == expected
+
+    @given(values_strategy, fragment_strategy, mode_strategy)
+    @settings(max_examples=300)
+    def test_variable_layout(self, values, fragment, mode):
+        capsule = Capsule.pack_variable(values)
+        expected = naive_rows(values, fragment, mode)
+        py = set(search_capsule(capsule, fragment, mode, kernel="python"))
+        by = set(search_capsule(capsule, fragment, mode, kernel="bytes"))
+        assert by == py == expected
+
+    @given(
+        st.lists(
+            st.lists(st.text(alphabet="ab1F#", max_size=4), max_size=6),
+            max_size=4,
+        ),
+        fragment_strategy,
+        mode_strategy,
+    )
+    @settings(max_examples=300)
+    def test_region_layout(self, regions, fragment, mode):
+        widths = [
+            max((len(v.encode("utf-8")) for v in region), default=1) or 1
+            for region in regions
+        ]
+        capsule = Capsule.pack_regions(regions, widths)
+        flat = [v for region in regions for v in region]
+        expected = naive_rows(flat, fragment, mode)
+        got = set(
+            scan.scan_regions(
+                capsule.plain(),
+                [(len(r), w) for r, w in zip(regions, widths)],
+                fragment.encode("utf-8"),
+                mode.value,
+            )
+        )
+        assert got == expected
+
+    @given(values_strategy, fragment_strategy, mode_strategy)
+    @settings(max_examples=300)
+    def test_direct_checking_subset(self, values, fragment, mode):
+        """check_rows_fixed over a hint equals the scan ∩ hint."""
+        capsule = Capsule.pack_fixed(values)
+        hint = list(range(0, len(values), 2))
+        got = set(
+            search_capsule(
+                capsule, fragment, mode, rows_hint=hint, kernel="bytes"
+            )
+        )
+        assert got == naive_rows(values, fragment, mode) & set(hint)
+
+
+class TestKernelValidation:
+    def test_unknown_kernel_rejected(self):
+        capsule = Capsule.pack_fixed(["a"])
+        with pytest.raises(ValueError, match="scan kernel"):
+            search_capsule(capsule, "a", MatchMode.EXACT, kernel="simd")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="scan mode"):
+            scan.scan_fixed(b"a", 1, 1, b"a", "glob")
+        with pytest.raises(ValueError, match="scan mode"):
+            scan.scan_variable(b"a", [0], 1, b"a", "glob")
+        with pytest.raises(ValueError, match="scan mode"):
+            scan.check_rows_fixed(b"a", 1, [0], b"a", "glob")
+
+    def test_config_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="scan kernel"):
+            LogGrepConfig(scan_kernel="simd").query_settings()
+
+
+class TestZeroWidthAndEmpty:
+    def test_zero_width_column(self):
+        capsule = Capsule.pack_fixed(["", "", ""])
+        assert capsule.width == 0
+        assert set(search_capsule(capsule, "", MatchMode.EXACT, kernel="bytes")) == {
+            0,
+            1,
+            2,
+        }
+        assert not search_capsule(capsule, "x", MatchMode.SUBSTRING, kernel="bytes")
+
+    def test_empty_exact_matches_only_empty_values(self):
+        capsule = Capsule.pack_fixed(["", "a", ""])
+        assert set(search_capsule(capsule, "", MatchMode.EXACT, kernel="bytes")) == {
+            0,
+            2,
+        }
+
+
+CORPUS = [
+    f"T{1000 + i} state: {'SUC' if i % 3 else 'ERR'}#{1600 + (i * 37) % 100}"
+    for i in range(120)
+] + [f"T{2000 + i} bk.{i % 7:02X}.{i % 5} read" for i in range(60)]
+
+QUERIES = ["ERR", "read AND bk.03", "state: NOT SUC", "T1003", "bk.*.4"]
+
+
+class TestEndToEndEquivalence:
+    """Both kernels return identical grep results on a full archive."""
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_grep_identical(self, query):
+        results = {}
+        for kernel in ("bytes", "python"):
+            lg = LogGrep(
+                config=LogGrepConfig(block_bytes=4 * 1024, scan_kernel=kernel)
+            )
+            lg.compress(CORPUS)
+            results[kernel] = lg.grep(query).lines
+        assert results["bytes"] == results["python"]
+
+    def test_reconstruction_identical(self):
+        lg = LogGrep(config=LogGrepConfig(block_bytes=4 * 1024))
+        lg.compress(CORPUS)
+        assert lg.grep("T").lines == CORPUS

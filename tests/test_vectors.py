@@ -14,7 +14,10 @@ ALL_MODES = list(MatchMode)
 
 
 def reader_for(values, stats=None, **opts):
-    settings_ = QuerySettings(use_stamps=opts.pop("use_stamps", True))
+    settings_ = QuerySettings(
+        use_stamps=opts.pop("use_stamps", True),
+        scan_kernel=opts.pop("scan_kernel", "bytes"),
+    )
     encoded = encode_vector(values, EncodingOptions(**opts))
     return make_reader(encoded, settings_, stats if stats is not None else QueryStats())
 
@@ -137,6 +140,75 @@ class TestUnpaddedReaders:
         reader = reader_for(values, use_padding=False)
         got = set(reader.search(fragment, mode).rows())
         assert got == naive(values, fragment, mode)
+
+
+class TestKernelParity:
+    """Both scan kernels agree on every reader kind."""
+
+    @pytest.mark.parametrize("values", [REAL_VALUES, NOMINAL_VALUES, OUTLIER_VALUES])
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    @pytest.mark.parametrize("fragment", ["ERR", "F8", "path_1", "#", ""])
+    def test_search_identical(self, values, fragment, mode):
+        by = reader_for(values, scan_kernel="bytes", sample_rate=1.0)
+        py = reader_for(values, scan_kernel="python", sample_rate=1.0)
+        assert set(by.search(fragment, mode).rows()) == set(
+            py.search(fragment, mode).rows()
+        ) == naive(values, fragment, mode)
+
+    @pytest.mark.parametrize("kernel", ["bytes", "python"])
+    def test_unpadded_search(self, kernel):
+        values = ["a#1", "a#22", "bb", "c-3", ""] * 8
+        reader = reader_for(values, use_padding=False, scan_kernel=kernel)
+        got = set(reader.search("a#", MatchMode.PREFIX).rows())
+        assert got == naive(values, "a#", MatchMode.PREFIX)
+
+
+class TestBudgetFallback:
+    """Locator explosion must fall back to a scan with correct results."""
+
+    def _exploding_reader(self, stats, scan_kernel="bytes"):
+        from repro.capsule.capsule import Capsule
+        from repro.query.vectors import RealVectorReader
+        from repro.capsule.assembler import RealEncodedVector
+        from repro.runtime.pattern import pattern_from_fragments
+
+        fragments = []
+        for _ in range(10):
+            fragments.extend([None, "-"])
+        pattern = pattern_from_fragments(fragments)
+        columns = [
+            [("a" if (r + c) % 2 else "b") for r in range(30)]
+            for c in range(pattern.num_subvars)
+        ]
+        encoded = RealEncodedVector(
+            pattern,
+            [Capsule.pack_fixed(column) for column in columns],
+            None,
+            [],
+            30,
+        )
+        settings_ = QuerySettings(use_stamps=False, scan_kernel=scan_kernel)
+        values = [
+            pattern.render([column[r] for column in columns]) for r in range(30)
+        ]
+        return RealVectorReader(encoded, settings_, stats), values
+
+    @pytest.mark.parametrize("kernel", ["bytes", "python"])
+    def test_fallback_scan_is_correct(self, kernel):
+        stats = QueryStats()
+        reader, values = self._exploding_reader(stats, kernel)
+        fragment = "a-b-a-b-a-b-a-b"
+        got = set(reader.search(fragment, MatchMode.SUBSTRING).rows())
+        assert stats.fallback_scans >= 1
+        assert got == naive(values, fragment, MatchMode.SUBSTRING)
+        assert got  # the corpus is built so the keyword does occur
+
+    def test_non_exploding_query_stays_on_locator(self):
+        stats = QueryStats()
+        reader, values = self._exploding_reader(stats)
+        got = set(reader.search("a-b", MatchMode.PREFIX).rows())
+        assert stats.fallback_scans == 0
+        assert got == naive(values, "a-b", MatchMode.PREFIX)
 
 
 class TestReaderFactory:
