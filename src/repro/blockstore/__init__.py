@@ -1,6 +1,8 @@
-"""Log-block splitting and archive blob storage."""
+"""Log-block splitting, archive blob storage and ranged-I/O helpers."""
 
+from .blobsource import BlobSource, BytesBlobSource, StoreBlobSource, coalesce_extents
 from .block import DEFAULT_BLOCK_BYTES, LogBlock, block_from_text, split_lines
+from .index import INDEX_AUX_NAME, ArchiveIndex, BlockSummary, VectorSummary
 from .store import ArchiveStore, MemoryStore
 
 __all__ = [
@@ -10,4 +12,12 @@ __all__ = [
     "DEFAULT_BLOCK_BYTES",
     "ArchiveStore",
     "MemoryStore",
+    "BlobSource",
+    "BytesBlobSource",
+    "StoreBlobSource",
+    "coalesce_extents",
+    "ArchiveIndex",
+    "BlockSummary",
+    "VectorSummary",
+    "INDEX_AUX_NAME",
 ]

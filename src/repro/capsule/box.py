@@ -4,15 +4,32 @@ A CapsuleBox contains every Capsule of a block plus the metadata needed to
 query and reconstruct it: static patterns (templates), per-group entry line
 ids, runtime patterns and Capsule stamps.
 
-Layout::
+Layout (format v2)::
 
-    MAGIC "LGCB" | version u8 | meta_len u32 | zlib(meta) | payload blobs
+    MAGIC "LGCB" | version u8 (=2) | flags u8 (=0) | header_len u16 (=32)
+    | bloom_off u32 | bloom_len u32 | meta_off u32 | meta_len u32
+    | payload_off u32 | payload_len u32
+    | bloom section | zlib(meta) | payload blobs
 
-The metadata section is small and zlib-compressed as a whole; Capsule
-payloads live *outside* it, referenced by (offset, length), so a query can
-load the metadata cheaply and decompress only the Capsules the Locator
-could not filter out — the selective-decompression property the whole
-design exists for.
+The fixed 32-byte header is a table of contents: it records the byte
+extent of every section, so a reader can fetch the Bloom filter, the
+metadata, or one capsule payload with an independent ranged read —
+nothing forces pulling the whole blob.  Sections are contiguous and the
+header is validated strictly (flags, lengths, contiguity, total size), so
+any single-byte header corruption is detected before bytes are trusted.
+
+Format v1 (``version u8 (=1) | bloom_len u32 | meta_len u32 | …``)
+remains fully readable: its 13-byte header pins the same three sections,
+so v1 archives get the ranged-read path too; only the explicit
+payload-length check degrades to "the rest of the blob".
+
+Capsule payloads live *outside* the zlib'd metadata, referenced by
+(offset, length) relative to the payload section.  Deserialized capsules
+are **lazy**: they hold their extent plus a
+:class:`~repro.blockstore.blobsource.BlobSource` and fetch bytes on first
+access (or batched, via :meth:`CapsuleBox.prefetch`) — the
+selective-decompression property of the paper extended down to
+selective *fetching*.
 """
 
 from __future__ import annotations
@@ -20,8 +37,9 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass
 from itertools import accumulate
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
+from ..blockstore.blobsource import BlobSource, BytesBlobSource, coalesce_extents
 from ..common.binio import BinaryReader, BinaryWriter
 from ..common.bloom import BloomFilter
 from ..common.errors import FormatError
@@ -41,7 +59,91 @@ from .capsule import Capsule
 from .stamp import CapsuleStamp
 
 MAGIC = b"LGCB"
-VERSION = 1
+VERSION = 2
+#: Versions this reader understands.
+READABLE_VERSIONS = (1, 2)
+
+_V1_HEADER_LEN = 13
+_V2_HEADER_LEN = 32
+
+#: Payload extents closer than this are fetched as one ranged read: the
+#: per-read fixed cost (seek / object-store request) dwarfs a few hundred
+#: over-read bytes.
+PREFETCH_GAP = 256
+
+
+@dataclass(frozen=True)
+class BoxTOC:
+    """Parsed header: the byte extent of every section of a box."""
+
+    version: int
+    bloom_off: int
+    bloom_len: int
+    meta_off: int
+    meta_len: int
+    payload_off: int
+    payload_len: int
+
+    @classmethod
+    def read(cls, source: BlobSource) -> "BoxTOC":
+        """Parse and strictly validate the header of *source*.
+
+        Every field is checked against the others and against the blob
+        size, so a flipped header byte raises :class:`FormatError` here —
+        never a garbage slice downstream.
+        """
+        size = source.size()
+        if size < 5:
+            raise FormatError("truncated CapsuleBox header")
+        head = source.read(0, min(_V1_HEADER_LEN, size))
+        if head[:4] != MAGIC:
+            raise FormatError("not a CapsuleBox: bad magic")
+        version = head[4]
+        if version not in READABLE_VERSIONS:
+            raise FormatError(f"unsupported CapsuleBox version {version}")
+        if version == 1:
+            if size < _V1_HEADER_LEN:
+                raise FormatError("truncated CapsuleBox header")
+            bloom_len = int.from_bytes(head[5:9], "little")
+            meta_len = int.from_bytes(head[9:13], "little")
+            bloom_off = _V1_HEADER_LEN
+            meta_off = bloom_off + bloom_len
+            payload_off = meta_off + meta_len
+            if payload_off > size:
+                raise FormatError("truncated CapsuleBox metadata")
+            return cls(
+                1, bloom_off, bloom_len, meta_off, meta_len,
+                payload_off, size - payload_off,
+            )
+        if size < _V2_HEADER_LEN:
+            raise FormatError("truncated CapsuleBox header")
+        head += source.read(_V1_HEADER_LEN, _V2_HEADER_LEN - _V1_HEADER_LEN)
+        flags = head[5]
+        header_len = int.from_bytes(head[6:8], "little")
+        if flags != 0:
+            raise FormatError(f"unknown CapsuleBox flags 0x{flags:02x}")
+        if header_len != _V2_HEADER_LEN:
+            raise FormatError(f"bad CapsuleBox header length {header_len}")
+        bloom_off = int.from_bytes(head[8:12], "little")
+        bloom_len = int.from_bytes(head[12:16], "little")
+        meta_off = int.from_bytes(head[16:20], "little")
+        meta_len = int.from_bytes(head[20:24], "little")
+        payload_off = int.from_bytes(head[24:28], "little")
+        payload_len = int.from_bytes(head[28:32], "little")
+        # Sections must tile the blob exactly: contiguity pins every
+        # offset to the lengths before it, and the final extent must end
+        # at the end of the blob.
+        if bloom_off != header_len:
+            raise FormatError("CapsuleBox TOC: bloom section not contiguous")
+        if meta_off != bloom_off + bloom_len:
+            raise FormatError("CapsuleBox TOC: metadata section not contiguous")
+        if payload_off != meta_off + meta_len:
+            raise FormatError("CapsuleBox TOC: payload section not contiguous")
+        if payload_off + payload_len != size:
+            raise FormatError("CapsuleBox TOC: payload extent does not match blob size")
+        return cls(
+            2, bloom_off, bloom_len, meta_off, meta_len, payload_off, payload_len
+        )
 
 
 @dataclass
@@ -70,12 +172,20 @@ class CapsuleBox:
     #: skip the whole box without decompressing its metadata.
     bloom: Optional[BloomFilter] = None
 
+    def __post_init__(self) -> None:
+        # The blob source capsules were loaded from (None for boxes built
+        # in memory by the compressor); prefetch batches reads through it.
+        self._source: Optional[BlobSource] = None
+
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
-    def serialize(self) -> bytes:
+    def serialize(self, version: int = VERSION) -> bytes:
+        """Serialize to *version* (2 by default; 1 for back-compat tests)."""
+        if version not in READABLE_VERSIONS:
+            raise FormatError(f"cannot serialize CapsuleBox version {version}")
         # The Bloom filter sits uncompressed before the metadata section so
-        # read_bloom() can prune a block without touching zlib.
+        # the bloom-only read path can prune a block without touching zlib.
         bloom_writer = BinaryWriter()
         if self.bloom is not None:
             bloom_writer.write_u8(1)
@@ -101,49 +211,71 @@ class CapsuleBox:
                 _write_vector(writer, vector, blobs, offset)
 
         meta = zlib.compress(writer.getvalue(), 6)
-        head = BinaryWriter()
-        head.write_u32(len(bloom_bytes))
-        head.write_u32(len(meta))
-        return (
-            MAGIC
-            + bytes([VERSION])
-            + head.getvalue()
-            + bloom_bytes
-            + meta
-            + b"".join(blobs)
+        payload = b"".join(blobs)
+        if version == 1:
+            head = BinaryWriter()
+            head.write_u32(len(bloom_bytes))
+            head.write_u32(len(meta))
+            return (
+                MAGIC + bytes([1]) + head.getvalue() + bloom_bytes + meta + payload
+            )
+        bloom_off = _V2_HEADER_LEN
+        meta_off = bloom_off + len(bloom_bytes)
+        payload_off = meta_off + len(meta)
+        toc = (
+            _V2_HEADER_LEN.to_bytes(2, "little")
+            + bloom_off.to_bytes(4, "little")
+            + len(bloom_bytes).to_bytes(4, "little")
+            + meta_off.to_bytes(4, "little")
+            + len(meta).to_bytes(4, "little")
+            + payload_off.to_bytes(4, "little")
+            + len(payload).to_bytes(4, "little")
         )
+        return MAGIC + bytes([2, 0]) + toc + bloom_bytes + meta + payload
 
-    @staticmethod
-    def _sections(data: bytes):
-        if data[:4] != MAGIC:
-            raise FormatError("not a CapsuleBox: bad magic")
-        if data[4] != VERSION:
-            raise FormatError(f"unsupported CapsuleBox version {data[4]}")
-        bloom_len = int.from_bytes(data[5:9], "little")
-        meta_len = int.from_bytes(data[9:13], "little")
-        bloom_start = 13
-        meta_start = bloom_start + bloom_len
-        meta_end = meta_start + meta_len
-        if meta_end > len(data):
-            raise FormatError("truncated CapsuleBox metadata")
-        return bloom_start, meta_start, meta_end
+    @classmethod
+    def read_toc(cls, source: BlobSource) -> BoxTOC:
+        """The parsed, validated header of a stored box."""
+        return BoxTOC.read(source)
 
     @classmethod
     def read_bloom(cls, data: bytes) -> Optional[BloomFilter]:
-        """Read only the block-level Bloom filter (cheap pruning path)."""
-        bloom_start, meta_start, _ = cls._sections(data)
-        reader = BinaryReader(data[bloom_start:meta_start])
+        """Read only the block-level Bloom filter from a full blob."""
+        return cls.open_bloom(BytesBlobSource(data, "<box>"))
+
+    @classmethod
+    def open_bloom(cls, source: BlobSource) -> Optional[BloomFilter]:
+        """Read only the Bloom filter, via ranged reads (cheap pruning).
+
+        Costs the header plus the bloom section — never the metadata or
+        any payload — on both v1 and v2 blobs.
+        """
+        toc = BoxTOC.read(source)
+        reader = BinaryReader(source.read(toc.bloom_off, toc.bloom_len))
         if reader.read_u8() == 0:
             return None
         return BloomFilter.read(reader)
 
     @classmethod
     def deserialize(cls, data: bytes) -> "CapsuleBox":
-        bloom_start, meta_start, meta_end = cls._sections(data)
-        bloom_reader = BinaryReader(data[bloom_start:meta_start])
+        """Load a box from a fully-fetched blob (v1 or v2)."""
+        return cls.open(BytesBlobSource(data, "<box>"))
+
+    @classmethod
+    def open(cls, source: BlobSource) -> "CapsuleBox":
+        """Load a box through ranged reads: header + bloom + metadata only.
+
+        Capsule payloads stay unfetched until first access; use
+        :meth:`prefetch` to batch the ones a plan will need.
+        """
+        toc = BoxTOC.read(source)
+        bloom_reader = BinaryReader(source.read(toc.bloom_off, toc.bloom_len))
         bloom = BloomFilter.read(bloom_reader) if bloom_reader.read_u8() else None
-        reader = BinaryReader(zlib.decompress(data[meta_start:meta_end]))
-        blob_base = meta_end
+        try:
+            meta = zlib.decompress(source.read(toc.meta_off, toc.meta_len))
+        except zlib.error as exc:
+            raise FormatError(f"corrupt CapsuleBox metadata: {exc}") from exc
+        reader = BinaryReader(meta)
 
         block_id = reader.read_varint()
         first_line_id = reader.read_varint()
@@ -154,11 +286,64 @@ class CapsuleBox:
             template = _read_template(reader)
             line_ids = _read_line_ids(reader)
             vectors = [
-                _read_vector(reader, data, blob_base)
+                _read_vector(reader, source, toc)
                 for _ in range(reader.read_varint())
             ]
             groups.append(GroupBox(template, line_ids, vectors))
-        return cls(block_id, first_line_id, num_lines, padded, groups, bloom)
+        box = cls(block_id, first_line_id, num_lines, padded, groups, bloom)
+        box._source = source
+        return box
+
+    # ------------------------------------------------------------------
+    # payload prefetch
+    # ------------------------------------------------------------------
+    def prefetch(
+        self,
+        group_indices: Optional[Iterable[int]] = None,
+        gap: int = PREFETCH_GAP,
+    ) -> int:
+        """Fetch the unfetched capsule payloads of the given groups (all
+        groups when *group_indices* is None), coalescing adjacent extents
+        into batched ranged reads.  Returns the bytes fetched.
+
+        Reconstruction needs every vector of each hit group; fetching them
+        one payload at a time would pay one store read per capsule, while
+        the payloads of a group are adjacent by construction — one read
+        per contiguous run covers them all.
+        """
+        source = self._source
+        if source is None or isinstance(source, BytesBlobSource):
+            # In-memory boxes have no extents; bytes-backed boxes already
+            # hold the whole blob, so capsules slice it on demand.
+            return 0
+        groups = (
+            self.groups
+            if group_indices is None
+            else [self.groups[i] for i in group_indices]
+        )
+        wanted: List[Capsule] = []
+        for group in groups:
+            for vector in group.vectors:
+                for capsule in _capsules_of(vector):
+                    if not capsule.is_fetched and capsule.payload_extent:
+                        wanted.append(capsule)
+        if not wanted:
+            return 0
+        extents = [c.payload_extent for c in wanted if c.payload_extent]
+        runs = coalesce_extents(extents, gap=gap)
+        buffers = [(off, source.read(off, length)) for off, length in runs]
+        fetched = 0
+        for capsule in wanted:
+            extent = capsule.payload_extent
+            if extent is None:  # pragma: no cover - filtered above
+                continue
+            off, length = extent
+            for run_off, buf in buffers:
+                if run_off <= off and off + length <= run_off + len(buf):
+                    capsule.pin_payload(buf[off - run_off : off - run_off + length])
+                    fetched += length
+                    break
+        return fetched
 
     # ------------------------------------------------------------------
     # statistics
@@ -171,6 +356,8 @@ class CapsuleBox:
         return count
 
     def payload_bytes(self) -> int:
+        # compressed_bytes comes from the extent for unfetched capsules,
+        # so statistics never force a payload read.
         return sum(
             capsule.compressed_bytes
             for group in self.groups
@@ -283,7 +470,7 @@ def _write_capsule(
     offset[0] += len(capsule.payload)
 
 
-def _read_capsule(reader: BinaryReader, data: bytes, blob_base: int) -> Capsule:
+def _read_capsule(reader: BinaryReader, source: BlobSource, toc: BoxTOC) -> Capsule:
     layout = reader.read_u8()
     width = reader.read_varint()
     count = reader.read_varint()
@@ -293,11 +480,13 @@ def _read_capsule(reader: BinaryReader, data: bytes, blob_base: int) -> Capsule:
     off = reader.read_varint()
     length = reader.read_varint()
     crc = reader.read_u32()
-    start = blob_base + off
-    if start + length > len(data):
+    # Validate the extent against the TOC *now*: a corrupt offset must be
+    # a FormatError at load time, not a failed ranged read at first use.
+    if off + length > toc.payload_len:
         raise FormatError("capsule payload out of range")
     capsule = Capsule(
-        layout, width, count, stamp, codec, preset, data[start : start + length]
+        layout, width, count, stamp, codec, preset,
+        source=source, extent=(toc.payload_off + off, length),
     )
     capsule.expected_crc = crc
     return capsule
@@ -345,19 +534,19 @@ def _write_vector(
         raise FormatError(f"unknown vector type {type(vector)!r}")
 
 
-def _read_vector(reader: BinaryReader, data: bytes, blob_base: int) -> EncodedVector:
+def _read_vector(reader: BinaryReader, source: BlobSource, toc: BoxTOC) -> EncodedVector:
     tag = reader.read_u8()
     if tag == ENC_REAL:
         pattern = RuntimePattern.read(reader)
         subvar_capsules = [
-            _read_capsule(reader, data, blob_base)
+            _read_capsule(reader, source, toc)
             for _ in range(reader.read_varint())
         ]
         outlier_capsule = None
         outlier_rows: List[int] = []
         if reader.read_u8() == 1:
             outlier_rows = _read_line_ids(reader)
-            outlier_capsule = _read_capsule(reader, data, blob_base)
+            outlier_capsule = _read_capsule(reader, source, toc)
         num_rows = reader.read_varint()
         return RealEncodedVector(
             pattern, subvar_capsules, outlier_capsule, outlier_rows, num_rows
@@ -371,8 +560,8 @@ def _read_vector(reader: BinaryReader, data: bytes, blob_base: int) -> EncodedVe
             masks = reader.read_u32_list()
             maxlens = reader.read_u32_list()
             dict_patterns.append(DictPattern(pattern, count, width, masks, maxlens))
-        dict_capsule = _read_capsule(reader, data, blob_base)
-        index_capsule = _read_capsule(reader, data, blob_base)
+        dict_capsule = _read_capsule(reader, source, toc)
+        index_capsule = _read_capsule(reader, source, toc)
         index_width = reader.read_varint()
         num_rows = reader.read_varint()
         dict_size = reader.read_varint()
@@ -380,7 +569,7 @@ def _read_vector(reader: BinaryReader, data: bytes, blob_base: int) -> EncodedVe
             dict_patterns, dict_capsule, index_capsule, index_width, num_rows, dict_size
         )
     if tag == ENC_PLAIN:
-        capsule = _read_capsule(reader, data, blob_base)
+        capsule = _read_capsule(reader, source, toc)
         num_rows = reader.read_varint()
         return PlainEncodedVector(capsule, num_rows)
     raise FormatError(f"unknown encoded-vector tag {tag}")

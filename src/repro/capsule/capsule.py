@@ -21,12 +21,14 @@ from __future__ import annotations
 
 import lzma
 import zlib
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..common.binio import BinaryReader, BinaryWriter
 from ..common.errors import CompressionError, FormatError
 from .stamp import CapsuleStamp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..blockstore.blobsource import BlobSource
 
 PAD = b"\x00"
 PAD_CHAR = 0
@@ -68,22 +70,109 @@ def _lzma_decompress(data: bytes, preset: int) -> bytes:
     )
 
 
-@dataclass
 class Capsule:
-    """A compressed column of values plus its stamp."""
+    """A compressed column of values plus its stamp.
 
-    layout: int
-    width: int  # padded value width (fixed layout); 0 for variable layout
-    count: int  # number of values
-    stamp: CapsuleStamp
-    codec: int
-    preset: int
-    payload: bytes
-    #: CRC32 recorded at serialization time (None for in-memory capsules);
-    #: checked by :meth:`verify_payload`, not on the hot read path.
-    expected_crc: Optional[int] = field(default=None, repr=False, compare=False)
-    _plain: Optional[bytes] = field(default=None, repr=False, compare=False)
-    _offsets: Optional[List[int]] = field(default=None, repr=False, compare=False)
+    The payload is **lazy**: a capsule deserialized from a stored box
+    holds only its byte extent and a :class:`BlobSource`; the compressed
+    bytes are fetched on first access to :attr:`payload` (or in a batched
+    prefetch, see ``CapsuleBox.prefetch``).  Capsules built by the packer
+    hold their bytes directly and behave exactly as before.
+    """
+
+    __slots__ = (
+        "layout", "width", "count", "stamp", "codec", "preset",
+        "expected_crc", "_payload", "_source", "_extent", "_plain",
+        "_offsets", "__weakref__",
+    )
+
+    def __init__(
+        self,
+        layout: int,
+        width: int,  # padded value width (fixed layout); 0 for variable
+        count: int,  # number of values
+        stamp: CapsuleStamp,
+        codec: int,
+        preset: int,
+        payload: Optional[bytes] = None,
+        *,
+        source: Optional["BlobSource"] = None,
+        extent: Optional[Tuple[int, int]] = None,
+    ):
+        if payload is None and (source is None or extent is None):
+            raise ValueError("capsule needs a payload or a (source, extent)")
+        self.layout = layout
+        self.width = width
+        self.count = count
+        self.stamp = stamp
+        self.codec = codec
+        self.preset = preset
+        #: CRC32 recorded at serialization time (None for in-memory
+        #: capsules); checked by :meth:`verify_payload`, not on the hot
+        #: read path.
+        self.expected_crc: Optional[int] = None
+        self._payload: Optional[bytes] = payload
+        self._source: Optional["BlobSource"] = source
+        self._extent: Optional[Tuple[int, int]] = extent
+        self._plain: Optional[bytes] = None
+        self._offsets: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # lazy payload
+    # ------------------------------------------------------------------
+    @property
+    def payload(self) -> bytes:
+        """The compressed bytes, fetched from the source on first access."""
+        if self._payload is None:
+            assert self._source is not None and self._extent is not None
+            offset, length = self._extent
+            self._payload = self._source.read(offset, length)
+        return self._payload
+
+    @property
+    def is_fetched(self) -> bool:
+        """True once the compressed bytes are resident in memory."""
+        return self._payload is not None
+
+    @property
+    def payload_extent(self) -> Optional[Tuple[int, int]]:
+        """(offset, length) of the payload within its blob, if stored."""
+        return self._extent
+
+    def pin_payload(self, data: bytes) -> None:
+        """Install prefetched payload bytes (batched ranged read)."""
+        if self._extent is not None and len(data) != self._extent[1]:
+            raise FormatError(
+                f"prefetched payload is {len(data)} byte(s), "
+                f"expected {self._extent[1]}"
+            )
+        if self._payload is None:
+            self._payload = data
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Capsule):
+            return NotImplemented
+        return (
+            self.layout == other.layout
+            and self.width == other.width
+            and self.count == other.count
+            and self.stamp == other.stamp
+            and self.codec == other.codec
+            and self.preset == other.preset
+            and self.payload == other.payload
+        )
+
+    def __repr__(self) -> str:
+        where = (
+            f"payload={len(self._payload)}B"
+            if self._payload is not None
+            else f"extent={self._extent!r}"
+        )
+        return (
+            f"Capsule(layout={self.layout}, width={self.width}, "
+            f"count={self.count}, stamp={self.stamp!r}, "
+            f"codec={self.codec}, preset={self.preset}, {where})"
+        )
 
     # ------------------------------------------------------------------
     # packing
@@ -266,6 +355,10 @@ class Capsule:
 
     @property
     def compressed_bytes(self) -> int:
+        # Stored size is known from the extent even before the bytes are
+        # fetched — statistics must not force a payload read.
+        if self._payload is None and self._extent is not None:
+            return self._extent[1]
         return len(self.payload)
 
     @property

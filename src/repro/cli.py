@@ -77,6 +77,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="capsule matching kernel: direct byte-level scanning (default) "
         "or the original per-position python path",
     )
+    grep.add_argument(
+        "--eager-io", action="store_true",
+        help="read whole block blobs instead of lazy ranged reads "
+        "(the differential oracle; equivalent to LOGGREP_LAZY_IO=0)",
+    )
+    grep.add_argument(
+        "--mmap", action="store_true",
+        help="serve ranged reads from memory-mapped blobs",
+    )
 
     stats = sub.add_parser("stats", help="show archive statistics")
     stats.add_argument("-a", "--archive", required=True, help="archive directory")
@@ -152,6 +161,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides = {"query_parallelism": args.parallelism}
         if args.scan_kernel is not None:
             overrides["scan_kernel"] = args.scan_kernel
+        if args.eager_io:
+            overrides["lazy_io"] = False
+        if args.mmap:
+            overrides["store_mmap"] = True
         lg = _open(args.archive, **overrides)
         if args.count and not args.stats and not args.trace:
             # Counting skips reconstruction entirely (grep -c fast path).

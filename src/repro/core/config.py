@@ -23,6 +23,11 @@ def _default_scan_kernel() -> str:
     """CI runs the suite once with the legacy kernel via this variable."""
     return os.environ.get("LOGGREP_SCAN_KERNEL", "bytes")
 
+
+def _default_lazy_io() -> bool:
+    """CI runs the suite once with eager whole-blob I/O via this variable."""
+    return os.environ.get("LOGGREP_LAZY_IO", "1") != "0"
+
 #: Names of the five ablated versions evaluated in Fig 9.
 ABLATIONS = ("w/o real", "w/o nomi", "w/o stamp", "w/o fixed", "w/o cache")
 
@@ -77,6 +82,20 @@ class LogGrepConfig:
     # at a small ratio cost.  Off by default so archives stay byte-
     # identical to earlier versions.
     codec_speed_tier: bool = False
+
+    # -- archive I/O -------------------------------------------------------
+    # Lazy I/O: load boxes through ranged reads (header + bloom + metadata)
+    # and fetch capsule payloads on first access, so bytes read track query
+    # selectivity.  Off (env LOGGREP_LAZY_IO=0) restores whole-blob reads —
+    # the differential oracle CI runs the suite against.
+    lazy_io: bool = field(default_factory=_default_lazy_io)
+    # Persistent prune index: maintain/load the per-archive sidecar of
+    # bloom bits + stamp summaries so block-level pruning needs zero store
+    # reads.  Purely derived data; disabling only disables the fast path.
+    use_prune_index: bool = True
+    # Serve ranged reads from memory-mapped blobs (repeated range reads of
+    # hot blocks on local disks).
+    store_mmap: bool = False
 
     # -- query-side --------------------------------------------------------
     # The paper's fixed-length matcher is Boyer-Moore (§5.2); it is the

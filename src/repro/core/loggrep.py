@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Tuple
 
 from ..blockstore.block import LogBlock, block_name, split_lines
+from ..blockstore.index import ArchiveIndex, load_index, save_index
 from ..blockstore.store import ArchiveStore, MemoryStore
 from ..capsule.box import CapsuleBox
 from ..common.rowset import RowSet
@@ -94,11 +95,31 @@ class LogGrep:
         # The decoded-value cache is process-wide (entries die with their
         # Capsules); the most recent instance re-bounds it.
         get_value_cache().set_capacity(self.config.value_cache_values)
+        if self.config.store_mmap and hasattr(self.store, "enable_mmap"):
+            self.store.enable_mmap()
+        # Load the prune-index sidecar once (rebuilding it for legacy
+        # archives that predate it); compression keeps it current.
+        self._index = self._load_or_build_index()
         self._executor = QueryExecutor(
-            StoreBoxSource(self.store, self._box_cache),
+            StoreBoxSource(self.store, self._box_cache, self._index),
             self.config,
             self.cache,
         )
+
+    def _load_or_build_index(self) -> "ArchiveIndex | None":
+        if not self.config.use_prune_index:
+            return None
+        index = load_index(self.store)
+        if index is not None:
+            return index
+        if self.store.names():
+            # Legacy archive: pay one full pass now so every later query
+            # prunes without touching the store.
+            index = ArchiveIndex.build(self.store)
+            if hasattr(self.store, "put_aux"):
+                save_index(self.store, index)
+            return index
+        return ArchiveIndex()
 
     # ------------------------------------------------------------------
     # compression
@@ -124,6 +145,7 @@ class LogGrep:
                 self.config,
                 template_cache=self._template_cache,
                 on_commit=invalidate,
+                index=self._index,
             )
             try:
                 for block in split_lines(lines, self.config.block_bytes):
@@ -204,13 +226,12 @@ class LogGrep:
         return self._executor.run(command, OutputMode.COUNT, ignore_case).count
 
     def _load_box(self, name: str) -> CapsuleBox:
-        # Boxes are deserialized per query by default (the paper reads the
+        # Boxes are loaded per query by default (the paper reads the
         # CapsuleBox from storage for every command); an explicit opt-in
-        # cache exists for interactive refining sessions.
-        box = self._box_cache.get(name)
-        if box is None:
-            box = CapsuleBox.deserialize(self.store.get(name))
-        return box
+        # cache exists for interactive refining sessions.  The load goes
+        # through the executor so pinning, queries and round-trip checks
+        # share one path (and one BoxCache + metrics).
+        return self._executor.load_box(name)
 
     def explain(self, command: str, ignore_case: bool = False) -> str:
         """Human-readable plan: the physical pipeline plus, per (keyword,
@@ -238,7 +259,7 @@ class LogGrep:
         blocks only.
         """
         for name in self.store.names():
-            self._box_cache.put(name, CapsuleBox.deserialize(self.store.get(name)))
+            self._executor.load_box(name, pin=True)
 
     def unpin_blocks(self) -> None:
         self._box_cache.clear()
@@ -267,6 +288,7 @@ class LogGrep:
         entries: List[Tuple[int, str]] = []
         for name in self.store.names():
             box = self._load_box(name)
+            box.prefetch()  # full rebuild touches everything: batch the reads
             reconstructor = BlockReconstructor(box, self.config.query_settings())
             for group_idx, group in enumerate(box.groups):
                 rows = RowSet.full(group.num_entries)

@@ -40,6 +40,7 @@ from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPool
 from typing import Callable, Deque, NamedTuple, Optional, Tuple, Union
 
 from ..blockstore.block import LogBlock, block_name
+from ..blockstore.index import ArchiveIndex, BlockSummary, save_index
 from ..blockstore.store import ArchiveStore
 from ..obs.metrics import get_registry
 from ..obs.trace import Span, get_tracer
@@ -59,8 +60,11 @@ _ENCODE_SECONDS = get_registry().histogram(
 #: Hook invoked after each block is persisted: (name, block, data).
 CommitHook = Callable[[str, LogBlock, bytes], None]
 
-#: What the encode stage returns: serialized bytes + its wall-clock.
-EncodeResult = Tuple[bytes, float]
+#: What the encode stage returns: serialized bytes + the block's
+#: prune-index summary + its wall-clock.  The summary is computed on the
+#: worker (it only walks stamps already in memory) so commit stays cheap;
+#: it is picklable for the process-pool path.
+EncodeResult = Tuple[bytes, BlockSummary, float]
 
 
 def _encode_job(
@@ -74,7 +78,8 @@ def _encode_job(
     start = time.perf_counter()
     box = encode_parsed(block, parsed, config)  # type: ignore[arg-type]
     data = box.serialize()
-    return data, time.perf_counter() - start
+    summary = BlockSummary.from_box(box)
+    return data, summary, time.perf_counter() - start
 
 
 class _Pending(NamedTuple):
@@ -96,6 +101,7 @@ class CompressionScheduler:
         config: LogGrepConfig,
         template_cache: Optional[TemplateCache] = None,
         on_commit: Optional[CommitHook] = None,
+        index: Optional[ArchiveIndex] = None,
         parallelism: Optional[int] = None,
         executor: Optional[str] = None,
         always_async: bool = False,
@@ -112,6 +118,10 @@ class CompressionScheduler:
         self.config = config
         self.template_cache = template_cache
         self.on_commit = on_commit
+        # Per-archive prune index updated at commit and persisted as a
+        # store sidecar on drain/close (None = maintenance disabled).
+        self.index = index
+        self._index_dirty = False
         # Tracked on the instance — back-pressure must not reach into
         # executor privates (the configured depth is ours to know).
         self.workers = workers
@@ -186,7 +196,8 @@ class CompressionScheduler:
         box = encode_parsed(block, parsed, self.config, parent=parent)  # type: ignore[arg-type]
         with tracer.span("serialize", parent=parent):
             data = box.serialize()
-        return data, time.perf_counter() - start
+        summary = BlockSummary.from_box(box)
+        return data, summary, time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # commit
@@ -195,10 +206,13 @@ class CompressionScheduler:
         pending = self._pending.popleft()
         result = pending.result
         if isinstance(result, Future):
-            data, encode_seconds = result.result()
+            data, summary, encode_seconds = result.result()
         else:
-            data, encode_seconds = result
+            data, summary, encode_seconds = result
         self.store.put(pending.name, data)
+        if self.index is not None:
+            self.index.add(pending.name, summary)
+            self._index_dirty = True
         self.blocks += 1
         self.compressed_bytes += len(data)
         if pending.span is not None:
@@ -217,9 +231,14 @@ class CompressionScheduler:
     # lifecycle
     # ------------------------------------------------------------------
     def drain(self) -> None:
-        """Commit every outstanding block, in submission order."""
+        """Commit every outstanding block, in submission order, and
+        persist the prune-index sidecar when it changed."""
         while self._pending:
             self._commit_oldest()
+        if self.index is not None and self._index_dirty:
+            if hasattr(self.store, "put_aux"):
+                save_index(self.store, self.index)
+            self._index_dirty = False
 
     def close(self) -> None:
         """Drain and release the worker pool.  Idempotent."""

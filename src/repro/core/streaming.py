@@ -23,6 +23,7 @@ import time
 from typing import Optional
 
 from ..blockstore.block import LogBlock
+from ..blockstore.index import ArchiveIndex
 from ..blockstore.store import ArchiveStore, MemoryStore
 from ..staticparse.cache import TemplateCache
 from .config import LogGrepConfig
@@ -49,6 +50,9 @@ class StreamingCompressor:
             raise ValueError("pipeline depth must be positive")
         self.pipeline_depth = pipeline_depth
         self.store = store if store is not None else MemoryStore()
+        self._index = (
+            ArchiveIndex() if self.config.use_prune_index else None
+        )
         self._scheduler = CompressionScheduler(
             self.store,
             self.config,
@@ -58,6 +62,7 @@ class StreamingCompressor:
             parallelism=pipeline_depth,
             executor=self.config.compress_executor,
             always_async=True,
+            index=self._index,
         )
         self._lines: list = []
         self._buffered_bytes = 0

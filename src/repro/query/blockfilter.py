@@ -1,4 +1,4 @@
-"""Block-level query pruning via trigram Bloom filters (extension).
+"""Block-level query pruning: trigram Bloom filters and charset masks.
 
 :func:`command_might_match` decides whether a whole CapsuleBox can be
 skipped for a query: if every OR-branch contains some positive literal
@@ -6,12 +6,29 @@ fragment whose trigrams are missing from the block's Bloom filter, no
 entry of the block can match.  Wildcard keywords contribute their literal
 runs; ignore-case and short (<3 char) fragments cannot be checked and
 conservatively pass — the prune is always sound, never lossy.
+
+:func:`summary_might_match` is the zero-read variant over a
+:class:`~repro.blockstore.index.BlockSummary` from the persistent prune
+index: it applies the same Bloom check (when bloom bits were compiled
+into the archive) plus the §5.1 charset-mask check hoisted to block
+granularity.  The engine matches every keyword fragment within a single
+rendered token, and the summary mask is the union of template-constant,
+capsule-stamp and pattern-constant masks, so a fragment whose mask is
+not subsumed cannot occur anywhere in the block.  Case-insensitive
+fragments skip the mask check (the classes are case-split); negated
+terms never prune.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+from ..common import chartypes
 from ..common.bloom import BloomFilter
 from .language import QueryCommand, Term
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..blockstore.index import BlockSummary
 
 
 def term_might_match(bloom: BloomFilter, term: Term) -> bool:
@@ -36,5 +53,60 @@ def command_might_match(bloom: BloomFilter, command: QueryCommand) -> bool:
     """Could any entry of the block satisfy *command*?"""
     for disjunct in command.disjuncts:
         if all(term_might_match(bloom, term) for term in disjunct):
+            return True
+    return False
+
+
+def summary_term_might_match(
+    summary: "BlockSummary",
+    term: Term,
+    use_stamps: bool = True,
+    use_bloom: bool = True,
+) -> bool:
+    """Zero-read variant of :func:`term_might_match` over an index entry."""
+    if term.negated:
+        return True
+    search = term.search
+    for keyword in search.keywords:
+        fragments = (
+            keyword.literals() if keyword.is_wildcard else [keyword.text]
+        )
+        for fragment in fragments:
+            if not fragment:
+                continue
+            if (
+                use_stamps
+                and not search.ignore_case
+                and not chartypes.mask_subsumes(
+                    summary.type_mask, chartypes.type_mask(fragment)
+                )
+            ):
+                return False
+            if (
+                use_bloom
+                and summary.bloom is not None
+                and not search.ignore_case
+                and not summary.bloom.might_contain_text(fragment)
+            ):
+                return False
+    return True
+
+
+def summary_might_match(
+    summary: "BlockSummary",
+    command: QueryCommand,
+    use_stamps: bool = True,
+    use_bloom: bool = True,
+) -> bool:
+    """Could any entry of the summarized block satisfy *command*?
+
+    Sound for the same reason the per-capsule checks are: every check is
+    necessary for a match, so a False here proves no line can match.
+    """
+    for disjunct in command.disjuncts:
+        if all(
+            summary_term_might_match(summary, term, use_stamps, use_bloom)
+            for term in disjunct
+        ):
             return True
     return False

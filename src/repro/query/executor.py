@@ -6,11 +6,19 @@ queries.  Per block the pipeline is::
 
     BloomPrune → LoadBox → Locate → Match* → Reconstruct
 
-* **BloomPrune** — reads only the block-level trigram Bloom filter (it
-  sits before the metadata section, so pruning never pays the box
-  deserialization) and drops the block when no disjunct can match.
-* **LoadBox** — deserializes the CapsuleBox, or reuses a pinned box from
-  the bounded :class:`BoxCache` (interactive refining sessions).
+* **BloomPrune** — drops the block when no disjunct can match.  With the
+  persistent prune index loaded (``config.use_prune_index``) the check
+  runs entirely on the in-memory :class:`BlockSummary` — bloom bits and
+  the block charset mask — costing **zero** store reads for a pruned
+  block.  Without an index entry, only the Bloom section is fetched via
+  a ranged read against the box TOC; a prune never reads the whole blob.
+* **LoadBox** — opens the CapsuleBox, or reuses a pinned box from the
+  bounded :class:`BoxCache` (interactive refining sessions).  Under lazy
+  I/O (``config.lazy_io``, the default) opening fetches only the header,
+  Bloom and metadata sections; capsule payloads are ranged-read on first
+  access, and Reconstruct batch-prefetches the hit groups' payloads with
+  coalesced reads.  With ``lazy_io=False`` the whole blob is read and
+  deserialized eagerly — the differential oracle for the lazy path.
 * **Locate** — evaluates the plan's selectivity-ordered terms with the
   row-set algebra of :class:`~repro.query.engine.BlockEngine`.
 * **Match** — resolves one search string to per-group row sets; memoized
@@ -36,10 +44,12 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from ..blockstore.blobsource import BlobSource, StoreBlobSource
+from ..blockstore.index import ArchiveIndex, BlockSummary
 from ..capsule.box import CapsuleBox
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
-from .blockfilter import command_might_match
+from .blockfilter import command_might_match, summary_might_match
 from .cache import QueryCache
 from .engine import BlockEngine, GroupRows
 from .language import QueryCommand, SearchString
@@ -119,21 +129,43 @@ class BoxCache:
 class StoreBoxSource:
     """Adapts an archive store (+ optional pin cache) to the executor.
 
-    The executor only needs three things from storage: the block names,
-    the raw serialized bytes of one block, and a possibly-pinned
-    deserialized box.  Anything that provides those — a local store, a
-    cluster node's replica store — can sit behind the same pipeline.
+    The executor needs four things from storage: the block names, the raw
+    serialized bytes of one block, a possibly-pinned deserialized box,
+    and — for the lazy-I/O path — a :class:`BlobSource` over one block
+    plus the block's prune-index summary.  Anything that provides those —
+    a local store, a cluster node's replica store — can sit behind the
+    same pipeline; stores without ranged reads simply fall back to
+    whole-blob loading.
     """
 
-    def __init__(self, store: object, box_cache: Optional[BoxCache] = None):
+    def __init__(
+        self,
+        store: object,
+        box_cache: Optional[BoxCache] = None,
+        index: Optional[ArchiveIndex] = None,
+    ):
         self.store = store
         self.box_cache = box_cache
+        self.index = index
+        self._ranged = hasattr(store, "get_range") and hasattr(store, "size")
 
     def names(self) -> List[str]:
         return self.store.names()  # type: ignore[attr-defined]
 
     def raw(self, name: str) -> bytes:
         return self.store.get(name)  # type: ignore[attr-defined]
+
+    def blob(self, name: str) -> Optional[BlobSource]:
+        """Ranged access to one block, when the store supports it."""
+        if not self._ranged:
+            return None
+        return StoreBlobSource(self.store, name)
+
+    def summary(self, name: str) -> Optional[BlockSummary]:
+        """The prune-index entry for one block, when an index is loaded."""
+        if self.index is None:
+            return None
+        return self.index.get(name)
 
     def cached(self, name: str) -> Optional[CapsuleBox]:
         if self.box_cache is None:
@@ -270,21 +302,38 @@ class QueryExecutor:
         stats.blocks_visited += 1
         box = self.source.cached(name)
         data: Optional[bytes] = None
-        # -- BloomPrune: the filter sits before the metadata section, so a
-        # prune never pays the box deserialization.
-        if box is None and getattr(self.config, "use_block_bloom", False):
+        use_bloom = bool(getattr(self.config, "use_block_bloom", False))
+        summary = (
+            self.source.summary(name)
+            if getattr(self.config, "use_prune_index", True)
+            else None
+        )
+        # -- BloomPrune: with an index entry the whole check runs in
+        # memory (zero store reads); otherwise only the Bloom section is
+        # fetched via the TOC — a prune never pays a whole-blob read.
+        if box is None and (use_bloom or summary is not None):
             with tracer.span("block_filter") as fspan:
-                data = self.source.raw(name)
-                bloom = CapsuleBox.read_bloom(data)
-                pruned = bloom is not None and not command_might_match(
-                    bloom, plan.command
-                )
+                via = "prune index"
+                if summary is not None:
+                    settings = self._settings()
+                    pruned = not summary_might_match(
+                        summary,
+                        plan.command,
+                        use_stamps=getattr(settings, "use_stamps", True),
+                        use_bloom=use_bloom,
+                    )
+                else:
+                    via = "block-level Bloom filter"
+                    bloom, data = self._read_bloom(name)
+                    pruned = bloom is not None and not command_might_match(
+                        bloom, plan.command
+                    )
                 fspan.set("pruned", pruned)
             if pruned:
                 stats.blocks_pruned += 1
                 rendering = (
-                    f"block {name}: pruned by block-level Bloom filter "
-                    "(no disjunct's literals survive the trigram check)"
+                    f"block {name}: pruned by {via} "
+                    "(no disjunct survives the mask/trigram checks)"
                     if plan.mode is OutputMode.EXPLAIN
                     else None
                 )
@@ -292,10 +341,10 @@ class QueryExecutor:
         # -- LoadBox
         if box is None:
             with tracer.span("load_box") as lspan:
-                if data is None:
-                    data = self.source.raw(name)
-                box = CapsuleBox.deserialize(data)
-                lspan.set("bytes", len(data))
+                box = self._open_box(name, data)
+                source = box._source
+                if isinstance(source, StoreBlobSource):
+                    lspan.set("bytes", source.bytes_read)
         # -- EXPLAIN: dry-run the remaining operators into a rendering.
         if plan.mode is OutputMode.EXPLAIN:
             from .explain import explain_block
@@ -315,12 +364,64 @@ class QueryExecutor:
             from ..core.reconstructor import BlockReconstructor
 
             with tracer.span("reconstruct") as rspan:
+                # Reconstruction touches every vector of each hit group;
+                # batch the still-unfetched payloads into coalesced
+                # ranged reads instead of one read per capsule.
+                prefetched = box.prefetch(hits.keys())
+                if prefetched:
+                    rspan.set("prefetched_bytes", prefetched)
                 reconstructor = BlockReconstructor(
                     box, self._settings(), stats, readers=engine.readers
                 )
                 entries = reconstructor.reconstruct(hits)
                 rspan.set("entries", len(entries))
         return BlockOutcome(name, entries=entries, count=count)
+
+    # ------------------------------------------------------------------
+    # box loading (shared by the pipeline, pinning and decompress_all)
+    # ------------------------------------------------------------------
+    def _read_bloom(
+        self, name: str
+    ) -> Tuple[Optional[object], Optional[bytes]]:
+        """The block's Bloom filter, via a ranged TOC read when possible.
+
+        Returns ``(bloom, data)`` where *data* is the full blob iff the
+        store forced a whole-blob fallback (reused by LoadBox).
+        """
+        blob = self.source.blob(name)
+        if blob is not None:
+            return CapsuleBox.open_bloom(blob), None
+        data = self.source.raw(name)
+        return CapsuleBox.read_bloom(data), data
+
+    def _open_box(self, name: str, data: Optional[bytes] = None) -> CapsuleBox:
+        """Open one box: lazily through ranged reads when configured and
+        supported, else from the whole blob."""
+        if data is not None:
+            return CapsuleBox.deserialize(data)
+        blob = (
+            self.source.blob(name)
+            if getattr(self.config, "lazy_io", True)
+            else None
+        )
+        if blob is not None:
+            return CapsuleBox.open(blob)
+        return CapsuleBox.deserialize(self.source.raw(name))
+
+    def load_box(self, name: str, pin: bool = False) -> CapsuleBox:
+        """Load (or reuse) one block's box outside a query.
+
+        This is the same path queries take through the shared
+        :class:`BoxCache`: pinned boxes (``pin=True``, refining sessions)
+        and query-time boxes share one LRU and one set of metrics instead
+        of deserializing the blob twice.
+        """
+        box = self.source.cached(name)
+        if box is None:
+            box = self._open_box(name)
+            if pin and self.source.box_cache is not None:
+                self.source.box_cache.put(name, box)
+        return box
 
     def _matcher(
         self, name: str, engine: BlockEngine, stats: QueryStats
@@ -372,10 +473,18 @@ class QueryExecutor:
         scheduler = (
             f"thread-pool({parallelism})" if parallelism > 1 else "serial"
         )
+        io = "lazy (ranged reads)" if getattr(self.config, "lazy_io", True) else "eager (whole blobs)"
+        index = (
+            f"loaded ({len(self.source.index)} block(s))"
+            if self.source.index is not None
+            and getattr(self.config, "use_prune_index", True)
+            else "off"
+        )
         lines = [
             f"physical plan for {plan.raw!r} (mode={plan.mode.value})",
             f"  pipeline: BloomPrune({bloom}) -> LoadBox -> Locate -> "
             f"Match(query_cache={cache}) -> {tail}",
+            f"  io: {io}; prune index: {index}",
             f"  scheduler: {scheduler} over {len(self.source.names())} block(s)",
         ]
         for i, disjunct in enumerate(plan.disjuncts):
