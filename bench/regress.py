@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""PR-6 benchmark regression ledger.
+
+Runs two micro-benches and writes a ``BENCH_PR6.json`` regression ledger:
+
+* **Fig-7 grep latency** — LogGrep vs gzip+grep on the Table-1 query of a
+  few representative datasets.  The gated metric is the dimensionless
+  speedup ``ggrep_over_lg`` (both sides timed in the same process, so the
+  ratio travels across CI hosts, unlike absolute milliseconds).
+* **Lazy-I/O** — bytes read off the store for one selective query under
+  the default ranged reader vs eager whole-blob reads
+  (``eager_over_lazy_bytes``; byte counts are exactly reproducible).
+
+It also asserts the PR-6 acceptance bar that per-query accounting stays
+off the hot path: grep latency with the ledger enabled (slow-query
+threshold armed) must be within ``--overhead-tolerance`` (default 3%) of
+the same query with the default NULL ledger, min-of-rounds on both sides.
+
+Exit status is non-zero when any gated ratio regresses by more than
+``--tolerance`` (default 25%) against the checked-in ``bench/baseline.json``
+or the overhead bar fails, so CI can gate on this script directly.
+
+Usage::
+
+    python bench/regress.py                       # compare vs baseline
+    python bench/regress.py --update-baseline     # regenerate baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.baselines.gzip_grep import GzipGrep  # noqa: E402
+from repro.blockstore.store import MemoryStore  # noqa: E402
+from repro.core.config import LogGrepConfig  # noqa: E402
+from repro.core.loggrep import LogGrep  # noqa: E402
+from repro.obs import get_registry  # noqa: E402
+from repro.workloads import spec_by_name  # noqa: E402
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+
+#: Representative Table-1 datasets: a production log whose query is
+#: variable-selective, one with heavy runtime patterns, and a public log.
+FIG7_DATASETS = ("Log A", "Log T", "Hdfs")
+
+#: Small blocks so even the micro-bench corpus spans several blocks.
+BLOCK_BYTES = 64 * 1024
+
+
+def _build_loggrep(lines, **overrides):
+    config = LogGrepConfig(block_bytes=BLOCK_BYTES, **overrides)
+    lg = LogGrep(store=MemoryStore(), config=config)
+    lg.compress(lines)
+    return lg
+
+
+def _timed_grep(lg, query, rounds):
+    """Min-of-rounds wall time; the query cache is cleared before every
+    round so each measurement exercises the full pipeline."""
+    best = float("inf")
+    hits = 0
+    for _ in range(rounds):
+        lg.clear_query_cache()
+        start = time.perf_counter()
+        result = lg.grep(query)
+        best = min(best, time.perf_counter() - start)
+        hits = result.count
+    return best, hits
+
+
+def bench_fig7(lines_per_spec, rounds):
+    """Fig-7 grep latency: LG vs gzip+grep, per dataset."""
+    out = {}
+    for name in FIG7_DATASETS:
+        spec = spec_by_name(name)
+        lines = spec.generate(lines_per_spec)
+        lg = _build_loggrep(lines)
+        gg = GzipGrep(block_bytes=BLOCK_BYTES)
+        gg.ingest(list(lines))
+        lg_s, lg_hits = _timed_grep(lg, spec.query, rounds)
+        gg_s = float("inf")
+        for _ in range(rounds):
+            _, elapsed = gg.timed_query(spec.query)
+            gg_s = min(gg_s, elapsed)
+        out[name] = {
+            "query": spec.query,
+            "hits": lg_hits,
+            "lg_ms": round(lg_s * 1000, 3),
+            "ggrep_ms": round(gg_s * 1000, 3),
+            "ggrep_over_lg": round(gg_s / lg_s, 3),
+        }
+    return out
+
+
+def bench_lazy_io(lines_per_spec):
+    """Bytes off the store for one selective query: lazy vs eager."""
+    spec = spec_by_name("Log A")
+    lines = spec.generate(lines_per_spec)
+    counter = get_registry().counter("loggrep_store_read_bytes_total")
+    bytes_read = {}
+    for mode, overrides in (("lazy", {}), ("eager", {"lazy_io": False})):
+        lg = _build_loggrep(lines, **overrides)
+        before = counter.value()
+        hits = lg.grep(spec.query).count
+        bytes_read[mode] = int(counter.value() - before)
+    return {
+        "query": spec.query,
+        "hits": hits,
+        "lazy_bytes": bytes_read["lazy"],
+        "eager_bytes": bytes_read["eager"],
+        "eager_over_lazy_bytes": round(
+            bytes_read["eager"] / max(1, bytes_read["lazy"]), 3
+        ),
+    }
+
+
+def bench_accounting_overhead(lines_per_spec, rounds):
+    """Ledger-on vs ledger-off grep latency over one shared archive.
+
+    The two configs share the compressed store so only the accounting
+    differs; rounds are interleaved so drift hits both sides equally.
+    """
+    spec = spec_by_name("Log A")
+    lines = spec.generate(lines_per_spec)
+    plain = _build_loggrep(lines)
+    # An armed (but unreachable) slow-query threshold activates the full
+    # ledger machinery without emitting records or adding budget locks.
+    ledgered = LogGrep(
+        store=plain.store,
+        config=LogGrepConfig(block_bytes=BLOCK_BYTES, slow_query_ms=1e15),
+    )
+    for lg in (plain, ledgered):  # warm caches on both sides
+        lg.grep(spec.query)
+    base = instrumented = float("inf")
+    for _ in range(rounds):
+        base = min(base, _timed_grep(plain, spec.query, 1)[0])
+        instrumented = min(instrumented, _timed_grep(ledgered, spec.query, 1)[0])
+    return {
+        "query": spec.query,
+        "base_ms": round(base * 1000, 3),
+        "ledger_ms": round(instrumented * 1000, 3),
+        "overhead_ratio": round(instrumented / base, 4),
+    }
+
+
+def gated_metrics(results):
+    """The dimensionless higher-is-better ratios compared vs baseline."""
+    out = {}
+    for name, row in results["fig7"].items():
+        out[f"fig7/{name}/ggrep_over_lg"] = row["ggrep_over_lg"]
+    out["lazy_io/eager_over_lazy_bytes"] = results["lazy_io"][
+        "eager_over_lazy_bytes"
+    ]
+    return out
+
+
+def compare(results, baseline, tolerance):
+    """Return a list of human-readable regression failures."""
+    failures = []
+    current = gated_metrics(results)
+    for key, base_value in baseline.items():
+        now = current.get(key)
+        if now is None:
+            failures.append(f"{key}: missing from this run (baseline {base_value})")
+            continue
+        floor = base_value / (1.0 + tolerance)
+        if now < floor:
+            failures.append(
+                f"{key}: {now:.3f} is a >{tolerance:.0%} regression vs "
+                f"baseline {base_value:.3f} (floor {floor:.3f})"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--lines", type=int, default=3000,
+        help="base lines per dataset (default: 3000)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5,
+        help="timing rounds, min taken (default: 5)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional regression vs baseline (default: 0.25)",
+    )
+    parser.add_argument(
+        "--overhead-tolerance", type=float, default=1.03,
+        help="max ledger-on/ledger-off latency ratio (default: 1.03)",
+    )
+    parser.add_argument(
+        "--out", default=os.path.join(REPO, "BENCH_PR6.json"),
+        help="result ledger path (default: BENCH_PR6.json at the repo root)",
+    )
+    parser.add_argument(
+        "--baseline", default=os.path.join(HERE, "baseline.json"),
+        help="checked-in baseline path (default: bench/baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from this run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    results = {
+        "bench": "PR6 per-query resource ledger",
+        "lines_per_spec": args.lines,
+        "rounds": args.rounds,
+        "fig7": bench_fig7(args.lines, args.rounds),
+        "lazy_io": bench_lazy_io(args.lines),
+        # The overhead bar is the tightest gate (3%), so it gets triple
+        # rounds: min-of-rounds on both sides needs the extra samples to
+        # stay under the noise floor of shared CI runners.
+        "accounting_overhead": bench_accounting_overhead(
+            args.lines, max(3 * args.rounds, 9)
+        ),
+    }
+
+    failures = []
+    overhead = results["accounting_overhead"]["overhead_ratio"]
+    if overhead > args.overhead_tolerance:
+        failures.append(
+            f"accounting overhead {overhead:.4f} exceeds the "
+            f"{args.overhead_tolerance:.2f} bar (ledger not off the hot path)"
+        )
+
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(gated_metrics(results), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline rewritten: {args.baseline}")
+    elif os.path.exists(args.baseline):
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            failures.extend(compare(results, json.load(fh), args.tolerance))
+    else:
+        failures.append(f"no baseline at {args.baseline} (run --update-baseline)")
+
+    results["failures"] = failures
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(json.dumps(results, indent=2, sort_keys=True))
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("benchmark regression ledger: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

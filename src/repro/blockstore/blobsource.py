@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from ..common.errors import FormatError
+from ..obs import ledger as ledger_channel
 
 #: One byte extent: (offset, length).
 Extent = Tuple[int, int]
@@ -87,6 +88,10 @@ class StoreBlobSource(BlobSource):
                 f"expected {length} (truncated blob?)"
             )
         self._bytes_read += length
+        # Charged with the exact length that store.get_range adds to
+        # loggrep_store_range_read_bytes_total, so an ANALYZE ledger
+        # reconciles with the global metric byte for byte.
+        ledger_channel.charge_read(length)
         return data
 
     def size(self) -> int:

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..common.binio import BinaryReader, BinaryWriter
 from ..common.errors import CompressionError, FormatError
+from ..obs import ledger as ledger_channel
 from .stamp import CapsuleStamp
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -127,6 +128,7 @@ class Capsule:
             assert self._source is not None and self._extent is not None
             offset, length = self._extent
             self._payload = self._source.read(offset, length)
+            ledger_channel.charge_capsule_fetch(length)
         return self._payload
 
     @property
@@ -148,6 +150,7 @@ class Capsule:
             )
         if self._payload is None:
             self._payload = data
+            ledger_channel.charge_capsule_fetch(len(data))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Capsule):

@@ -42,6 +42,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import List, Sequence, Tuple
 
+from ..obs import ledger as ledger_channel
 from .capsule import PAD
 
 MODE_EXACT = "exact"
@@ -83,6 +84,9 @@ def scan_region(
         raise ValueError(f"unknown scan mode {mode!r}; pick one of {MODES}")
     if count == 0:
         return []
+    # Charged here (not in scan_fixed/scan_regions, which delegate) so a
+    # region-packed dictionary is still counted exactly once per row.
+    ledger_channel.charge_rows_scanned(count)
     flen = len(needle)
     if width == 0:
         # Every value is the empty string: only the empty needle matches.
@@ -178,6 +182,7 @@ def check_rows_fixed(
     """
     if mode not in MODES:
         raise ValueError(f"unknown scan mode {mode!r}; pick one of {MODES}")
+    ledger_channel.charge_rows_scanned(len(rows))
     flen = len(needle)
     if width == 0:
         return list(rows) if flen == 0 else []
@@ -247,6 +252,7 @@ def scan_variable(
         raise ValueError(f"unknown scan mode {mode!r}; pick one of {MODES}")
     if count == 0:
         return []
+    ledger_channel.charge_rows_scanned(count)
     flen = len(needle)
     total = len(plain)
 

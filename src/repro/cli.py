@@ -69,6 +69,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "percentages to stderr",
     )
     grep.add_argument(
+        "--trace-out", metavar="PATH",
+        help="trace the query and write a Chrome trace-event JSON file to "
+        "PATH (viewable in chrome://tracing or ui.perfetto.dev)",
+    )
+    grep.add_argument(
+        "--analyze", action="store_true",
+        help="EXPLAIN ANALYZE: execute the query with the per-query "
+        "resource ledger and print the per-operator table to stderr",
+    )
+    grep.add_argument(
         "-j", "--parallelism", type=int, default=1, metavar="N",
         help="query blocks on an N-thread pool (default: 1, serial)",
     )
@@ -96,12 +106,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("-a", "--archive", required=True, help="archive directory")
     metrics.add_argument(
-        "--format", choices=("prometheus", "json"), default="prometheus",
-        help="export format (default: prometheus text format)",
+        "--format", choices=("prom", "prometheus", "json"), default="prometheus",
+        help="export format (default: prometheus text format; "
+        '"prom" is an alias)',
     )
     metrics.add_argument(
         "-q", "--query", metavar="QUERY",
         help="run this query first so query metrics are populated",
+    )
+    metrics.add_argument(
+        "--reset", action="store_true",
+        help="zero every metric after printing (fresh baseline for the "
+        "next in-process reading)",
     )
 
     analyze = sub.add_parser(
@@ -165,19 +181,41 @@ def main(argv: Optional[List[str]] = None) -> int:
             overrides["lazy_io"] = False
         if args.mmap:
             overrides["store_mmap"] = True
-        lg = _open(args.archive, **overrides)
-        if args.count and not args.stats and not args.trace:
-            # Counting skips reconstruction entirely (grep -c fast path).
-            print(lg.count(args.query, ignore_case=args.ignore_case))
-            return 0
-        if args.trace:
-            from .obs import render_span_tree, tracing
+        from .common.errors import BudgetExceeded
 
-            with tracing() as tracer:
-                result = lg.grep(args.query, ignore_case=args.ignore_case)
-            root = tracer.last_root()
-        else:
-            result = lg.grep(args.query, ignore_case=args.ignore_case)
+        lg = _open(args.archive, **overrides)
+        tracing_wanted = args.trace or args.trace_out is not None
+        try:
+            if args.count and not args.stats and not tracing_wanted and not args.analyze:
+                # Counting skips reconstruction entirely (grep -c fast path).
+                print(lg.count(args.query, ignore_case=args.ignore_case))
+                return 0
+
+            def run_query():
+                if args.analyze:
+                    return lg.explain_analyze(args.query, ignore_case=args.ignore_case)
+                return lg.grep(args.query, ignore_case=args.ignore_case)
+
+            if tracing_wanted:
+                from .obs import render_span_tree, tracing
+
+                with tracing() as tracer:
+                    result = run_query()
+                root = tracer.last_root()
+            else:
+                result = run_query()
+        except BudgetExceeded as exc:
+            print(f"loggrep: {exc}", file=sys.stderr)
+            if exc.ledger is not None:
+                spent = exc.ledger.totals()
+                print(
+                    f"loggrep: partial ledger at abort: "
+                    f"{spent.read_bytes} byte(s) read in {spent.range_reads} "
+                    f"range read(s), {exc.ledger.decoded_values} value(s) "
+                    "decoded",
+                    file=sys.stderr,
+                )
+            return 1
         if args.count:
             print(result.count)
         else:
@@ -185,6 +223,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(line)
         if args.trace:
             print(render_span_tree(root), file=sys.stderr)
+        if args.trace_out is not None:
+            from .obs import write_chrome_trace
+
+            events = write_chrome_trace(args.trace_out, tracer.roots)
+            print(
+                f"# wrote {events} trace event(s) to {args.trace_out}",
+                file=sys.stderr,
+            )
+        if args.analyze:
+            print(result.report, file=sys.stderr)
         if args.stats:
             if args.json:
                 doc = {
@@ -252,8 +300,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             lg.grep(args.query)
         if args.format == "json":
             print(registry.to_json(indent=2))
-        else:
+        else:  # "prometheus" or its "prom" alias
             print(registry.to_prometheus(), end="")
+        if args.reset:
+            registry.reset()
         return 0
 
     if args.command == "explain":

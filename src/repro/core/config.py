@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from ..capsule.assembler import EncodingOptions
 from ..query.matcher import SCAN_KERNELS
@@ -27,6 +28,25 @@ def _default_scan_kernel() -> str:
 def _default_lazy_io() -> bool:
     """CI runs the suite once with eager whole-blob I/O via this variable."""
     return os.environ.get("LOGGREP_LAZY_IO", "1") != "0"
+
+
+def _default_slow_query_ms() -> Optional[float]:
+    raw = os.environ.get("LOGGREP_SLOW_QUERY_MS")
+    return float(raw) if raw else None
+
+
+def _default_slow_query_log() -> Optional[str]:
+    return os.environ.get("LOGGREP_SLOW_QUERY_LOG") or None
+
+
+def _default_max_read_bytes() -> Optional[int]:
+    raw = os.environ.get("LOGGREP_MAX_READ_BYTES")
+    return int(raw) if raw else None
+
+
+def _default_max_decoded_values() -> Optional[int]:
+    raw = os.environ.get("LOGGREP_MAX_DECODED_VALUES")
+    return int(raw) if raw else None
 
 #: Names of the five ablated versions evaluated in Fig 9.
 ABLATIONS = ("w/o real", "w/o nomi", "w/o stamp", "w/o fixed", "w/o cache")
@@ -120,6 +140,20 @@ class LogGrepConfig:
     # "both compression and query execution can easily be parallelized";
     # the paper normalizes to one CPU, hence default 1).
     query_parallelism: int = 1
+
+    # -- per-query accounting (ledger, slow-query log, budgets) ------------
+    # Any of these being set activates the QueryLedger for every query;
+    # with all four at None (the default) queries run with the null ledger
+    # and the accounting layer costs nothing.
+    # Queries slower than this threshold (milliseconds) emit one JSON-lines
+    # record to slow_query_log_path (or the "repro.slowlog" logger).
+    slow_query_ms: Optional[float] = field(default_factory=_default_slow_query_ms)
+    slow_query_log_path: Optional[str] = field(default_factory=_default_slow_query_log)
+    # Soft per-query budgets: the query aborts with BudgetExceeded (carrying
+    # the partial ledger) the moment its store bytes read or decoded-value
+    # count crosses the limit — degrade one query, not the host.
+    max_read_bytes: Optional[int] = field(default_factory=_default_max_read_bytes)
+    max_decoded_values: Optional[int] = field(default_factory=_default_max_decoded_values)
 
     def encoding_options(self, seed: int = None) -> EncodingOptions:
         return EncodingOptions(

@@ -33,8 +33,9 @@ from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from ..query.cache import QueryCache, get_value_cache
 from ..query.executor import BoxCache, QueryExecutor, StoreBoxSource
+from ..query.explain import render_analyze
 from ..query.plan import OutputMode
-from ..query.stats import QueryStats
+from ..query.stats import NULL_LEDGER, QueryLedger, QueryStats
 from ..staticparse.cache import TemplateCache
 from .config import LogGrepConfig
 from .reconstructor import BlockReconstructor
@@ -51,6 +52,11 @@ class GrepResult:
     line_ids: List[int]
     stats: QueryStats
     elapsed: float
+    #: Per-query resource accounting (NULL_LEDGER unless activated by
+    #: analyze mode, a slow-query threshold or a budget).
+    ledger: QueryLedger = NULL_LEDGER
+    #: EXPLAIN ANALYZE report (empty outside analyze mode).
+    report: str = ""
 
     @property
     def count(self) -> int:
@@ -211,6 +217,35 @@ class LogGrep:
             [line_id for line_id, _ in result.entries],
             result.stats,
             result.elapsed,
+            result.ledger,
+        )
+
+    def explain_analyze(
+        self, command: str, ignore_case: bool = False
+    ) -> GrepResult:
+        """Run *command* for real (the full LINES pipeline) with the
+        per-query ledger active, and render the per-operator resource
+        table alongside the physical plan.
+
+        Unlike :meth:`explain` this *executes* — the reported bytes, rows
+        and cache traffic are what the query actually cost, and the
+        reconstructed lines are returned too (``result.lines``); the
+        report is in ``result.report``.
+        """
+        result = self._executor.run(command, OutputMode.ANALYZE, ignore_case)
+        report = render_analyze(
+            result.ledger,
+            result.stats,
+            result.elapsed,
+            self._executor.describe(result.plan),
+        )
+        return GrepResult(
+            [text for _, text in result.entries],
+            [line_id for line_id, _ in result.entries],
+            result.stats,
+            result.elapsed,
+            result.ledger,
+            report,
         )
 
     def count(self, command: str, ignore_case: bool = False) -> int:

@@ -29,10 +29,14 @@ from .trace import (
     render_span_tree,
     set_tracer,
     stage_totals,
+    to_chrome_trace,
     tracing,
+    write_chrome_trace,
 )
 
 __all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
     "Span",
     "Tracer",
     "NullTracer",

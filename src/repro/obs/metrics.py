@@ -36,13 +36,25 @@ def _label_key(labels: Dict[str, str]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, double quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """Prometheus HELP escaping: backslash and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: LabelKey, extra: Optional[Tuple[str, str]] = None) -> str:
     pairs = list(key)
     if extra is not None:
         pairs.append(extra)
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 
@@ -210,22 +222,26 @@ class MetricsRegistry:
         for name in self.names():
             metric = self._metrics[name]
             if metric.help:
-                out.append(f"# HELP {name} {metric.help}")
+                out.append(f"# HELP {name} {_escape_help(metric.help)}")
             out.append(f"# TYPE {name} {metric.kind}")
             if isinstance(metric, Histogram):
                 for key, counts, total_sum, total in metric._samples():
-                    cumulative = 0
+                    # Histogram.observe increments every bucket whose bound
+                    # covers the value, so the stored counts are already
+                    # cumulative — emit them as-is.
                     for bound, count in zip(metric.buckets, counts):
-                        cumulative = count
                         out.append(
                             f"{name}_bucket"
                             f"{_render_labels(key, ('le', _format_value(bound)))} "
-                            f"{cumulative}"
+                            f"{count}"
                         )
                     out.append(
                         f"{name}_bucket{_render_labels(key, ('le', '+Inf'))} {total}"
                     )
-                    out.append(f"{name}_sum{_render_labels(key)} {repr(total_sum)}")
+                    out.append(
+                        f"{name}_sum{_render_labels(key)} "
+                        f"{_format_value(total_sum)}"
+                    )
                     out.append(f"{name}_count{_render_labels(key)} {total}")
             else:
                 samples = metric._samples()

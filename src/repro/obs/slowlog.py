@@ -1,0 +1,67 @@
+"""Structured slow-query log (JSON lines).
+
+Any query whose wall time crosses ``config.slow_query_ms`` (env
+``LOGGREP_SLOW_QUERY_MS``) is captured as one self-contained JSON object:
+the raw command, the physical plan as rendered by ``EXPLAIN``, the merged
+:class:`~repro.query.stats.QueryStats`, and — because the threshold also
+activates the ledger — the full per-operator resource bill.  One record
+per query, appended under a process-wide lock so concurrent queries never
+interleave partial lines.
+
+Records go to ``config.slow_query_log_path`` (env
+``LOGGREP_SLOW_QUERY_LOG``); with no path configured they fall back to a
+``logging`` warning on the ``repro.slowlog`` logger, so the signal is
+never silently dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from .metrics import get_registry
+
+_SLOW_QUERIES = get_registry().counter(
+    "loggrep_slow_queries_total", "Queries that crossed the slow-query threshold"
+)
+
+_logger = logging.getLogger("repro.slowlog")
+_write_lock = threading.Lock()
+
+
+def build_record(
+    query: str,
+    mode: str,
+    elapsed_ms: float,
+    threshold_ms: float,
+    plan: str,
+    stats: Dict[str, Any],
+    ledger: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One slow-query record; keys are stable, the schema is documented in
+    docs/OBSERVABILITY.md."""
+    return {
+        "ts": time.time(),
+        "query": query,
+        "mode": mode,
+        "elapsed_ms": round(elapsed_ms, 3),
+        "threshold_ms": threshold_ms,
+        "plan": plan,
+        "stats": stats,
+        "ledger": ledger,
+    }
+
+
+def emit(record: Dict[str, Any], path: Optional[str] = None) -> None:
+    """Append *record* as one JSON line to *path* (or log it)."""
+    _SLOW_QUERIES.inc()
+    line = json.dumps(record, sort_keys=True)
+    if path is None:
+        _logger.warning("slow query: %s", line)
+        return
+    with _write_lock:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")

@@ -8,7 +8,15 @@ from .locator import TOO_COMPLEX, locate
 from .matcher import search_capsule
 from .modes import MatchMode, value_matches
 from .plan import OutputMode, QueryPlan, build_plan
-from .stats import QueryStats
+from .stats import (
+    NULL_LEDGER,
+    OPERATORS,
+    BudgetMeter,
+    NullQueryLedger,
+    OperatorStats,
+    QueryLedger,
+    QueryStats,
+)
 from .vectors import (
     NominalVectorReader,
     PlainVectorReader,
@@ -36,6 +44,12 @@ __all__ = [
     "TOO_COMPLEX",
     "search_capsule",
     "QueryStats",
+    "QueryLedger",
+    "NullQueryLedger",
+    "NULL_LEDGER",
+    "OperatorStats",
+    "BudgetMeter",
+    "OPERATORS",
     "QuerySettings",
     "BlockEngine",
     "GroupRows",

@@ -27,6 +27,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, List, Optional
 
 from ..common.rowset import RowSet
+from ..obs import ledger as ledger_channel
 from ..obs.metrics import get_registry
 
 _HITS = get_registry().counter(
@@ -69,10 +70,12 @@ class QueryCache:
             if entry is None:
                 self.misses += 1
                 _MISSES.inc()
+                ledger_channel.charge_cache("query", False)
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
             _HITS.inc()
+            ledger_channel.charge_cache("query", True)
             return entry
 
     def put(self, block_name: str, search_text: str, rows: GroupRows) -> None:
@@ -163,9 +166,12 @@ class CapsuleValueCache:
             if values is not None:
                 self._entries.move_to_end(key)
                 _VALUE_HITS.inc()
+                ledger_channel.charge_cache("value", True)
                 return values
         _VALUE_MISSES.inc()
+        ledger_channel.charge_cache("value", False)
         values = loader() if loader is not None else capsule.values()  # type: ignore[attr-defined]
+        ledger_channel.charge_decoded_values(len(values))
         self._store(capsule, key, values)
         return values
 
@@ -184,6 +190,7 @@ class CapsuleValueCache:
         values = self.peek(capsule)
         if values is not None:
             return values[row]
+        ledger_channel.charge_decoded_values(1)
         return capsule.value_at(row)  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------

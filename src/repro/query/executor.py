@@ -47,6 +47,8 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from ..blockstore.blobsource import BlobSource, StoreBlobSource
 from ..blockstore.index import ArchiveIndex, BlockSummary
 from ..capsule.box import CapsuleBox
+from ..common.errors import BudgetExceeded
+from ..obs import ledger as ledger_channel
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from .blockfilter import command_might_match, summary_might_match
@@ -54,7 +56,7 @@ from .cache import QueryCache
 from .engine import BlockEngine, GroupRows
 from .language import QueryCommand, SearchString
 from .plan import OutputMode, QueryPlan, build_plan
-from .stats import QueryStats
+from .stats import NULL_LEDGER, BudgetMeter, QueryLedger, QueryStats
 
 _BOX_HITS = get_registry().counter(
     "loggrep_box_cache_hits_total", "Box cache lookups that hit"
@@ -153,7 +155,11 @@ class StoreBoxSource:
         return self.store.names()  # type: ignore[attr-defined]
 
     def raw(self, name: str) -> bytes:
-        return self.store.get(name)  # type: ignore[attr-defined]
+        data: bytes = self.store.get(name)  # type: ignore[attr-defined]
+        # The eager-I/O counterpart of StoreBlobSource.read's charge: every
+        # whole-blob load bills the open operator (and the read budget).
+        ledger_channel.charge_blob_read(len(data))
+        return data
 
     def blob(self, name: str) -> Optional[BlobSource]:
         """Ranged access to one block, when the store supports it."""
@@ -193,6 +199,9 @@ class ExecutionResult:
     stats: QueryStats
     elapsed: float
     renderings: List[str] = field(default_factory=list)
+    #: Per-query resource accounting; NULL_LEDGER unless ANALYZE mode, a
+    #: slow-query threshold or a budget activated it.
+    ledger: QueryLedger = NULL_LEDGER
 
     @property
     def count(self) -> int:
@@ -230,35 +239,90 @@ class QueryExecutor:
         start = time.perf_counter()
         stats = QueryStats()
         raw = command.raw if not isinstance(command, str) else command
+        effective_mode = (
+            command.mode if isinstance(command, QueryPlan) else mode
+        )
+        ledger = self._make_ledger(effective_mode)
         attrs: Dict[str, object] = {"command": raw}
-        if mode is not OutputMode.LINES:
-            attrs["mode"] = mode.value
-        with tracer.span("query", **attrs) as qspan:
-            with tracer.span("plan"):
-                if isinstance(command, QueryPlan):
-                    plan = command
-                else:
-                    plan = build_plan(command, mode, ignore_case)
-            names = self.source.names()
-            outcomes = self._schedule(names, plan, stats, qspan)
-            entries: List[Entry] = []
-            renderings: List[str] = []
-            total = 0
-            for outcome in outcomes:
-                entries.extend(outcome.entries)
-                total += outcome.count
-                if outcome.rendering is not None:
-                    renderings.append(outcome.rendering)
-            entries.sort(key=lambda item: item[0])
-            stats.entries_matched = total
-            qspan.set("blocks", len(names))
-            qspan.set("entries_matched", stats.entries_matched)
-            qspan.set("capsules_decompressed", stats.capsules_decompressed)
-            qspan.set("bytes_decompressed", stats.bytes_decompressed)
+        if effective_mode is not OutputMode.LINES:
+            attrs["mode"] = effective_mode.value
+        try:
+            with tracer.span("query", **attrs) as qspan:
+                with tracer.span("plan"), ledger.operator("plan"):
+                    if isinstance(command, QueryPlan):
+                        plan = command
+                    else:
+                        plan = build_plan(command, mode, ignore_case)
+                names = self.source.names()
+                outcomes = self._schedule(names, plan, stats, qspan, ledger)
+                entries: List[Entry] = []
+                renderings: List[str] = []
+                total = 0
+                for outcome in outcomes:
+                    entries.extend(outcome.entries)
+                    total += outcome.count
+                    if outcome.rendering is not None:
+                        renderings.append(outcome.rendering)
+                entries.sort(key=lambda item: item[0])
+                stats.entries_matched = total
+                qspan.set("blocks", len(names))
+                qspan.set("entries_matched", stats.entries_matched)
+                qspan.set("capsules_decompressed", stats.capsules_decompressed)
+                qspan.set("bytes_decompressed", stats.bytes_decompressed)
+        except BudgetExceeded as exc:
+            # The per-block ledgers were merged by _schedule's finally, so
+            # the exception carries the partial bill up to the caller.
+            exc.ledger = ledger
+            raise
         elapsed = time.perf_counter() - start
         if plan.mode is not OutputMode.EXPLAIN:
             stats.publish(elapsed)
-        return ExecutionResult(plan, entries, stats, elapsed, renderings)
+        self._maybe_log_slow(plan, stats, ledger, elapsed)
+        return ExecutionResult(plan, entries, stats, elapsed, renderings, ledger)
+
+    def _make_ledger(self, mode: OutputMode) -> QueryLedger:
+        """An active ledger when anything will consume it, else the null
+        object (which keeps the charge channel empty — zero overhead)."""
+        max_read = getattr(self.config, "max_read_bytes", None)
+        max_decoded = getattr(self.config, "max_decoded_values", None)
+        slow_ms = getattr(self.config, "slow_query_ms", None)
+        if (
+            mode is not OutputMode.ANALYZE
+            and slow_ms is None
+            and max_read is None
+            and max_decoded is None
+        ):
+            return NULL_LEDGER
+        budget = (
+            BudgetMeter(max_read, max_decoded)
+            if max_read is not None or max_decoded is not None
+            else None
+        )
+        return QueryLedger(budget)
+
+    def _maybe_log_slow(
+        self,
+        plan: QueryPlan,
+        stats: QueryStats,
+        ledger: QueryLedger,
+        elapsed: float,
+    ) -> None:
+        """Emit one slow-query record when the query crossed the threshold."""
+        threshold = getattr(self.config, "slow_query_ms", None)
+        if threshold is None or elapsed * 1000.0 < threshold:
+            return
+        from ..obs import slowlog
+
+        record = slowlog.build_record(
+            query=plan.raw,
+            mode=plan.mode.value,
+            elapsed_ms=elapsed * 1000.0,
+            threshold_ms=float(threshold),
+            plan=self.describe(plan),
+            stats=stats.as_dict(),
+            ledger=ledger.as_dict() if ledger.enabled else None,
+        )
+        slowlog.emit(record, getattr(self.config, "slow_query_log_path", None))
 
     def _schedule(
         self,
@@ -266,25 +330,39 @@ class QueryExecutor:
         plan: QueryPlan,
         stats: QueryStats,
         qspan: object,
+        ledger: QueryLedger = NULL_LEDGER,
     ) -> List[BlockOutcome]:
         """Run every block, serially or on a thread pool, merging stats
         in block order either way."""
         tracer = get_tracer()
         parallelism = getattr(self.config, "query_parallelism", 1)
 
-        def run_one(name: str) -> Tuple[BlockOutcome, QueryStats]:
+        def run_one(name: str, spawn: bool = True) -> Tuple[BlockOutcome, QueryStats]:
             block_stats = QueryStats()
+            # One child ledger per block: a block runs wholly on one
+            # thread, so its charges never race; the children are folded
+            # back below once the pool has drained.  Serial execution has
+            # no races to isolate, so it charges the root directly.
+            block_ledger = ledger.spawn() if spawn else ledger
             with tracer.span("block", parent=qspan, block=name):
-                outcome = self.execute_block(name, plan, block_stats)
+                outcome = self.execute_block(
+                    name, plan, block_stats, block_ledger
+                )
             return outcome, block_stats
 
-        if parallelism > 1 and len(names) > 1:
-            from concurrent.futures import ThreadPoolExecutor
+        try:
+            if parallelism > 1 and len(names) > 1:
+                from concurrent.futures import ThreadPoolExecutor
 
-            with ThreadPoolExecutor(parallelism) as pool:
-                pairs = list(pool.map(run_one, names))
-        else:
-            pairs = [run_one(name) for name in names]
+                with ThreadPoolExecutor(parallelism) as pool:
+                    pairs = list(pool.map(run_one, names))
+            else:
+                pairs = [run_one(name, spawn=False) for name in names]
+        finally:
+            # Runs after the pool has exited (its with-block joins every
+            # worker), so merging is race-free even when a BudgetExceeded
+            # is propagating — the partial ledger stays consistent.
+            ledger.merge_children()
         outcomes: List[BlockOutcome] = []
         for outcome, block_stats in pairs:
             stats.merge(block_stats)
@@ -295,12 +373,18 @@ class QueryExecutor:
     # per-block operator pipeline
     # ------------------------------------------------------------------
     def execute_block(
-        self, name: str, plan: QueryPlan, stats: QueryStats
+        self,
+        name: str,
+        plan: QueryPlan,
+        stats: QueryStats,
+        ledger: QueryLedger = NULL_LEDGER,
     ) -> BlockOutcome:
         """BloomPrune → LoadBox → Locate/Match → Reconstruct for one block."""
         tracer = get_tracer()
         stats.blocks_visited += 1
         box = self.source.cached(name)
+        if self.source.box_cache is not None:
+            ledger.charge_box_cache(box is not None)
         data: Optional[bytes] = None
         use_bloom = bool(getattr(self.config, "use_block_bloom", False))
         summary = (
@@ -312,7 +396,9 @@ class QueryExecutor:
         # memory (zero store reads); otherwise only the Bloom section is
         # fetched via the TOC — a prune never pays a whole-blob read.
         if box is None and (use_bloom or summary is not None):
-            with tracer.span("block_filter") as fspan:
+            with tracer.span("block_filter") as fspan, ledger.operator(
+                "block_filter"
+            ):
                 via = "prune index"
                 if summary is not None:
                     settings = self._settings()
@@ -340,7 +426,7 @@ class QueryExecutor:
                 return BlockOutcome(name, pruned=True, rendering=rendering)
         # -- LoadBox
         if box is None:
-            with tracer.span("load_box") as lspan:
+            with tracer.span("load_box") as lspan, ledger.operator("load_box"):
                 box = self._open_box(name, data)
                 source = box._source
                 if isinstance(source, StoreBlobSource):
@@ -354,16 +440,21 @@ class QueryExecutor:
             )
         # -- Locate (calling Match per search string)
         engine = BlockEngine(box, self._settings(), stats)
-        with tracer.span("locate") as lspan:
-            hits = engine.execute(plan, self._matcher(name, engine, stats))
+        with tracer.span("locate") as lspan, ledger.operator("locate"):
+            hits = engine.execute(
+                plan, self._matcher(name, engine, stats, ledger)
+            )
             lspan.set("groups_hit", len(hits))
         count = sum(len(rows) for rows in hits.values())
-        # -- Reconstruct (elided for COUNT plans)
+        # -- Reconstruct (elided for COUNT plans; ANALYZE runs it in full
+        # so the ledger reflects what a real LINES query would cost)
         entries: List[Entry] = []
-        if plan.mode is OutputMode.LINES and hits:
+        if plan.mode in (OutputMode.LINES, OutputMode.ANALYZE) and hits:
             from ..core.reconstructor import BlockReconstructor
 
-            with tracer.span("reconstruct") as rspan:
+            with tracer.span("reconstruct") as rspan, ledger.operator(
+                "reconstruct"
+            ):
                 # Reconstruction touches every vector of each hit group;
                 # batch the still-unfetched payloads into coalesced
                 # ranged reads instead of one read per capsule.
@@ -424,7 +515,11 @@ class QueryExecutor:
         return box
 
     def _matcher(
-        self, name: str, engine: BlockEngine, stats: QueryStats
+        self,
+        name: str,
+        engine: BlockEngine,
+        stats: QueryStats,
+        ledger: QueryLedger = NULL_LEDGER,
     ) -> Callable[[SearchString], GroupRows]:
         """The Match operator: engine search memoized per (block, search)."""
         tracer = get_tracer()
@@ -432,9 +527,14 @@ class QueryExecutor:
             self.cache is not None
             and getattr(self.config, "use_query_cache", False)
         )
+        # One reusable timer for the whole block: match runs once per
+        # (group, search) pair — the hottest operator boundary by far.
+        match_timer = ledger.operator("match")
 
         def match(search: SearchString) -> GroupRows:
-            with tracer.span("match", search=search.cache_key) as mspan:
+            with tracer.span(
+                "match", search=search.cache_key
+            ) as mspan, match_timer:
                 if use_cache:
                     cached = self.cache.get(name, search.cache_key)  # type: ignore[union-attr]
                     if cached is not None:
@@ -463,7 +563,7 @@ class QueryExecutor:
             and getattr(self.config, "use_query_cache", False)
             else "off"
         )
-        if plan.mode is OutputMode.LINES:
+        if plan.mode in (OutputMode.LINES, OutputMode.ANALYZE):
             tail = "Reconstruct"
         elif plan.mode is OutputMode.COUNT:
             tail = "Reconstruct(elided)"

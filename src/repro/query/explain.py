@@ -67,6 +67,100 @@ class BlockPlan:
         return "\n".join(lines)
 
 
+def render_analyze(
+    ledger, stats, elapsed: float, physical_plan: str = ""
+) -> str:
+    """The ``EXPLAIN ANALYZE`` report: the physical plan followed by a
+    per-operator resource table from a :class:`~repro.query.stats.QueryLedger`.
+
+    The ``read_bytes`` column counts exactly what the store-level metric
+    ``loggrep_store_range_read_bytes_total`` counts, so the table's total
+    reconciles with the registry's delta for the query.
+    """
+    columns = (
+        ("calls", "calls"),
+        ("time_ms", None),  # derived from seconds
+        ("range_reads", "range_reads"),
+        ("read_bytes", "read_bytes"),
+        ("capsules", "capsules_fetched"),
+        ("decompressed", "bytes_decompressed"),
+        ("rows_scanned", "rows_scanned"),
+    )
+    rows = []
+    for name, op in ledger.ordered_operators():
+        cells = [name]
+        for header, attr in columns:
+            if attr is None:
+                cells.append(f"{op.seconds * 1000:.2f}")
+            else:
+                cells.append(str(getattr(op, attr)))
+        rows.append(cells)
+    total = ledger.totals()
+    total_cells = ["TOTAL"]
+    for header, attr in columns:
+        if attr is None:
+            total_cells.append(f"{total.seconds * 1000:.2f}")
+        else:
+            total_cells.append(str(getattr(total, attr)))
+    rows.append(total_cells)
+
+    headers = ["operator"] + [header for header, _ in columns]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+
+    def fmt(cells):
+        first = cells[0].ljust(widths[0])
+        rest = "  ".join(
+            cell.rjust(widths[i + 1]) for i, cell in enumerate(cells[1:])
+        )
+        return f"  {first}  {rest}"
+
+    lines = []
+    if physical_plan:
+        lines.append(physical_plan)
+    lines.append(f"resource ledger (wall time {elapsed * 1000:.2f} ms):")
+    lines.append(fmt(headers))
+    lines.append(fmt(["-" * w for w in widths]))
+    for cells in rows:
+        lines.append(fmt(cells))
+    caches = [
+        f"{kind}={getattr(ledger, f'{kind}_cache_hits')}"
+        f"/{getattr(ledger, f'{kind}_cache_hits') + getattr(ledger, f'{kind}_cache_misses')}"
+        for kind in ("box", "query", "value")
+    ]
+    lines.append(f"  cache hits (hit/lookups): {', '.join(caches)}")
+    lines.append(f"  decoded values: {ledger.decoded_values}")
+    if ledger.budget is not None:
+        budget = ledger.budget.as_dict()
+        lines.append(
+            "  budget: "
+            f"read_bytes {budget['read_bytes']}"
+            + (
+                f"/{budget['max_read_bytes']}"
+                if budget["max_read_bytes"] is not None
+                else ""
+            )
+            + f", decoded_values {budget['decoded_values']}"
+            + (
+                f"/{budget['max_decoded_values']}"
+                if budget["max_decoded_values"] is not None
+                else ""
+            )
+        )
+    if stats is not None:
+        lines.append(
+            "  stats: "
+            f"{stats.blocks_visited} block(s) visited, "
+            f"{stats.blocks_pruned} pruned, "
+            f"{stats.capsules_considered} capsule(s) considered, "
+            f"{stats.capsules_filtered} filtered, "
+            f"{stats.entries_matched} entr(ies) matched"
+        )
+    return "\n".join(lines)
+
+
 def explain_block(
     box: CapsuleBox, command: Union[QueryCommand, QueryPlan], name: str
 ) -> BlockPlan:

@@ -42,6 +42,7 @@ from ..capsule import scan
 from ..capsule.capsule import LAYOUT_FIXED, PAD, Capsule
 from ..common.rowset import RowSet
 from ..common.textalgo import find_all
+from ..obs import ledger as ledger_channel
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from .modes import MatchMode, value_matches
@@ -90,6 +91,10 @@ def search_capsule(
             result = _search_variable(capsule, fragment, mode, engine)
     _SCAN_ROWS.inc(covered, kernel=kernel)
     _SCAN_SECONDS.observe(time.perf_counter() - start, kernel=kernel)
+    if kernel != "bytes":
+        # The python path never enters capsule.scan, so its coverage is
+        # charged here; the bytes kernels charge inside scan_region.
+        ledger_channel.charge_rows_scanned(covered)
     return result
 
 

@@ -37,6 +37,7 @@ class OutputMode(Enum):
     LINES = "lines"  # full pipeline: locate + reconstruct original entries
     COUNT = "count"  # reconstruction elided; only located-row counts
     EXPLAIN = "explain"  # dry run; render per-operator decisions
+    ANALYZE = "analyze"  # full pipeline + per-operator resource ledger
 
 
 def term_selectivity(term: Term) -> int:

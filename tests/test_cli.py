@@ -60,6 +60,76 @@ class TestGrep:
         captured = capsys.readouterr()
         assert "hit(s)" in captured.err
 
+    def test_grep_analyze_prints_ledger_table(self, log_file, tmp_path, capsys):
+        path, lines = log_file
+        archive = tmp_path / "arch"
+        main(["compress", str(path), "-a", str(archive)])
+        capsys.readouterr()
+        rc = main(["grep", "ERROR", "-a", str(archive), "--analyze"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        # Matching lines still go to stdout; the ledger table to stderr.
+        assert captured.out.splitlines() == [l for l in lines if "ERROR" in l]
+        assert "resource ledger" in captured.err
+        for column in ("operator", "read_bytes", "rows_scanned", "TOTAL"):
+            assert column in captured.err
+
+    def test_grep_budget_abort_is_a_clean_error(
+        self, log_file, tmp_path, capsys, monkeypatch
+    ):
+        path, _ = log_file
+        archive = tmp_path / "arch"
+        main(["compress", str(path), "-a", str(archive), "--block-bytes", "4096"])
+        capsys.readouterr()
+        monkeypatch.setenv("LOGGREP_MAX_READ_BYTES", "100")
+        rc = main(["grep", "ERROR", "-a", str(archive), "-c"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "budget exceeded" in err
+        assert "partial ledger" in err
+
+    def test_grep_trace_out_writes_chrome_trace(self, log_file, tmp_path, capsys):
+        import json
+
+        path, _ = log_file
+        archive = tmp_path / "arch"
+        trace_path = tmp_path / "trace.json"
+        main(["compress", str(path), "-a", str(archive)])
+        capsys.readouterr()
+        rc = main(["grep", "ERROR", "-a", str(archive), "--trace-out", str(trace_path)])
+        assert rc == 0
+        assert "trace event(s)" in capsys.readouterr().err
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"query", "block"} <= names
+
+
+class TestMetricsCommand:
+    def test_formats_and_reset(self, log_file, tmp_path, capsys):
+        path, _ = log_file
+        archive = tmp_path / "arch"
+        main(["compress", str(path), "-a", str(archive)])
+        capsys.readouterr()
+        rc = main(["metrics", "-a", str(archive), "-q", "ERROR", "--format", "prom"])
+        assert rc == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE loggrep_queries_total counter" in prom
+        assert "loggrep_store_bytes" in prom
+
+        rc = main(["metrics", "-a", str(archive), "--format", "json", "--reset"])
+        assert rc == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        samples = doc["loggrep_queries_total"]["samples"]
+        assert samples and samples[0]["value"] >= 1
+
+        # --reset zeroed the registry after printing: the next in-process
+        # export starts from a fresh baseline (no query samples left).
+        main(["metrics", "-a", str(archive), "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["loggrep_queries_total"]["samples"] == []
+
 
 class TestStats:
     def test_stats_lists_blocks(self, log_file, tmp_path, capsys):

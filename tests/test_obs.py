@@ -1,6 +1,7 @@
 """Tests for the observability layer: spans, metrics, export, integration."""
 
 import json
+import pathlib
 import threading
 
 import pytest
@@ -206,6 +207,44 @@ class TestMetrics:
         )
         assert reg.to_prometheus() == expected
 
+    def test_prometheus_export_golden_file(self):
+        """Full exposition against tests/golden/metrics_exposition.prom.
+
+        Covers the cases the inline golden above does not: cumulative
+        ``_bucket`` counts with several observations per bucket, labelled
+        histograms, label-value escaping (backslash, double quote,
+        newline) and HELP escaping.
+        """
+        reg = MetricsRegistry()
+        reg.counter("req_total", "Requests").inc(3)
+        reg.gauge("temp", "Temperature").set(21.5)
+        escapes = reg.counter(
+            "path_hits_total", "Hits per path (backslash \\ in help)"
+        )
+        escapes.inc(1, path='C:\\logs\\"app"\nnext')
+        h = reg.histogram(
+            "lat_seconds", "Latency", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.06, 0.5, 5.0, 50.0):
+            h.observe(value, op="grep")
+        h.observe(0.2, op="count")
+        golden = (
+            pathlib.Path(__file__).parent / "golden" / "metrics_exposition.prom"
+        )
+        assert reg.to_prometheus() == golden.read_text(encoding="utf-8")
+
+    def test_histogram_buckets_are_cumulative_in_exposition(self):
+        """Each ``le`` bucket counts every observation at or below it."""
+        reg = MetricsRegistry()
+        h = reg.histogram("x_seconds", buckets=(1.0, 2.0, 3.0))
+        for value in (0.5, 1.5, 2.5):
+            h.observe(value)
+        text = reg.to_prometheus()
+        assert 'x_seconds_bucket{le="1"} 1' in text
+        assert 'x_seconds_bucket{le="2"} 2' in text
+        assert 'x_seconds_bucket{le="3"} 3' in text
+        assert 'x_seconds_bucket{le="+Inf"} 3' in text
+
     def test_json_export_golden(self):
         reg = MetricsRegistry()
         reg.counter("req_total", "Requests").inc(3)
@@ -227,6 +266,87 @@ class TestMetrics:
                 ],
             },
         }
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export
+# ----------------------------------------------------------------------
+class TestChromeTraceExport:
+    def test_span_forest_exports_complete_events(self):
+        from repro.obs import to_chrome_trace
+
+        tracer = Tracer()
+        with tracer.span("query", command="ERROR") as q:
+            with tracer.span("plan"):
+                pass
+
+            def work():
+                with tracer.span("block", parent=q, block="b0"):
+                    pass
+
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        doc = to_chrome_trace(tracer.roots)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["query", "plan", "block"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "loggrep"
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+            assert event["pid"] == 1
+        # Timestamps are normalized: the earliest span starts at 0.
+        assert min(e["ts"] for e in events) == 0.0
+        # The worker-thread span gets its own compact lane.
+        by_name = {e["name"]: e for e in events}
+        assert by_name["query"]["tid"] == by_name["plan"]["tid"]
+        assert by_name["block"]["tid"] != by_name["query"]["tid"]
+        assert by_name["query"]["args"] == {"command": "ERROR"}
+        # Nested spans fit inside their parent's interval.
+        q_event, p_event = by_name["query"], by_name["plan"]
+        assert q_event["ts"] <= p_event["ts"]
+        assert p_event["ts"] + p_event["dur"] <= q_event["ts"] + q_event["dur"] + 1e-6
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        from repro.obs import write_chrome_trace
+
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(str(path), tracer.roots)
+        assert count == 2
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert len(doc["traceEvents"]) == 2
+
+    def test_empty_forest_exports_empty_trace(self):
+        from repro.obs import to_chrome_trace
+
+        assert to_chrome_trace([]) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }
+        assert to_chrome_trace([None]) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }
+
+    def test_traced_grep_exports_pipeline_events(self, tmp_path):
+        from repro.obs import write_chrome_trace
+
+        lines = make_mixed_lines(400, seed=13)
+        lg = LogGrep(store=MemoryStore(), config=CONFIG)
+        lg.compress(lines)
+        with tracing() as tracer:
+            lg.grep("ERROR")
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), tracer.roots)
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"query", "plan", "block", "locate", "match"} <= names
 
 
 # ----------------------------------------------------------------------
@@ -340,6 +460,46 @@ class TestTracedQuery:
         expected = serial.grep("ERROR").stats
         assert result.stats.capsules_decompressed == expected.capsules_decompressed
         assert result.stats.blocks_visited == expected.blocks_visited
+
+    def test_parallel_block_spans_attach_to_query_root(self):
+        """Satellite: spans opened on worker threads parent under the root.
+
+        With ``query_parallelism > 1`` each per-block span is created on a
+        pool thread whose thread-local span stack is empty, so attachment
+        relies on the explicit ``parent=`` hand-off — verify every block
+        span landed under the query root (no orphans, no mis-parenting) and
+        that the work really ran off the main thread.
+        """
+        lines = make_mixed_lines(900, seed=31)
+        config = LogGrepConfig(block_bytes=8 * 1024, query_parallelism=4)
+        lg = LogGrep(store=MemoryStore(), config=config)
+        lg.compress(lines)
+        with tracing() as tracer:
+            lg.grep("ERROR")
+        root = tracer.last_root()
+        assert root is not None and root.name == "query"
+        assert tracer.roots == [root]  # no orphaned roots from pool threads
+
+        def walk(span):
+            yield span
+            for child in span.children:
+                yield from walk(child)
+
+        blocks = [s for s in walk(root) if s.name == "block"]
+        assert len(blocks) == len(lg.store.names()) > 1
+        for span in blocks:
+            assert span.parent is root
+        # Descendants of a block (locate/match/...) stay under that block.
+        for span in walk(root):
+            if span is root or span.parent is root:
+                continue
+            cursor = span
+            while cursor.parent is not root:
+                cursor = cursor.parent
+            assert cursor.name == "block"
+        # At least one block span actually ran on a non-main thread.
+        tids = {s.tid for s in blocks}
+        assert len(tids) > 1 or threading.get_ident() not in tids
 
     def test_query_metrics_accumulate(self):
         lines = make_mixed_lines(300, seed=9)
