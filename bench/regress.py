@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""PR-6 benchmark regression ledger.
+"""PR-7 benchmark regression ledger.
 
-Runs two micro-benches and writes a ``BENCH_PR6.json`` regression ledger:
+Runs three micro-benches and writes a ``BENCH_PR7.json`` regression ledger:
 
 * **Fig-7 grep latency** — LogGrep vs gzip+grep on the Table-1 query of a
   few representative datasets.  The gated metric is the dimensionless
@@ -10,6 +10,12 @@ Runs two micro-benches and writes a ``BENCH_PR6.json`` regression ledger:
 * **Lazy-I/O** — bytes read off the store for one selective query under
   the default ranged reader vs eager whole-blob reads
   (``eager_over_lazy_bytes``; byte counts are exactly reproducible).
+* **Aggregation pushdown** — ``agg count-by`` on a selective Table-1
+  query vs the reconstruct-then-count baseline over the same store.  The
+  PR-7 acceptance bars are hard-gated: pushdown must read ≤ 25 % of the
+  baseline's bytes and take ≤ 50 % of its wall time, and the per-query
+  ledger's ``read_bytes`` must reconcile exactly with the store's
+  ``loggrep_store_range_read_bytes_total`` delta.
 
 It also asserts the PR-6 acceptance bar that per-query accounting stays
 off the hot path: grep latency with the ledger enabled (slow-query
@@ -152,6 +158,73 @@ def bench_accounting_overhead(lines_per_spec, rounds):
     }
 
 
+def bench_aggregation(lines_per_spec, rounds):
+    """Pushdown count-by vs reconstruct-then-count on a selective query.
+
+    Ratios are agg/baseline (lower is better), gated as hard bars rather
+    than baseline-relative: bytes ≤ 0.25, wall time ≤ 0.50.  For the
+    baseline-comparison ledger the inverted higher-is-better ratios are
+    also reported.
+    """
+    import re
+    from collections import Counter
+
+    from repro.query.aggregate import AggregateSpec
+    from repro.query.modes import AggregateKind
+
+    spec = spec_by_name("Log A")
+    field, where = "state", "request"
+    lines = spec.generate(lines_per_spec)
+    store = MemoryStore()
+    LogGrep(
+        store=store, config=LogGrepConfig(block_bytes=BLOCK_BYTES)
+    ).compress(lines)
+    range_counter = get_registry().counter("loggrep_store_range_read_bytes_total")
+    pattern = re.compile(rf"{field}[:=](\S+)")
+
+    agg_s = base_s = float("inf")
+    for _ in range(rounds):
+        agg_lg = LogGrep(
+            store=store, config=LogGrepConfig(block_bytes=BLOCK_BYTES)
+        )
+        before = range_counter.value()
+        start = time.perf_counter()
+        result = agg_lg.aggregate(
+            AggregateSpec(AggregateKind.COUNT_BY, field), where, analyze=True
+        )
+        agg_s = min(agg_s, time.perf_counter() - start)
+        agg_bytes = int(range_counter.value() - before)
+        ledger_bytes = result.ledger.totals().read_bytes
+
+        base_lg = LogGrep(
+            store=store, config=LogGrepConfig(block_bytes=BLOCK_BYTES)
+        )
+        before = range_counter.value()
+        start = time.perf_counter()
+        hits = base_lg.grep(where).lines
+        base_counts = Counter(
+            m.group(1) for line in hits for m in [pattern.search(line)] if m
+        )
+        base_s = min(base_s, time.perf_counter() - start)
+        base_bytes = int(range_counter.value() - before)
+
+    return {
+        "dataset": spec.name,
+        "field": field,
+        "where": where,
+        "matched": result.matched,
+        "counts_equal": dict(result.value) == dict(base_counts),
+        "agg_bytes": agg_bytes,
+        "ledger_bytes": ledger_bytes,
+        "baseline_bytes": base_bytes,
+        "bytes_ratio": round(agg_bytes / max(1, base_bytes), 3),
+        "agg_ms": round(agg_s * 1000, 3),
+        "baseline_ms": round(base_s * 1000, 3),
+        "time_ratio": round(agg_s / base_s, 3),
+        "baseline_over_agg_bytes": round(base_bytes / max(1, agg_bytes), 3),
+    }
+
+
 def gated_metrics(results):
     """The dimensionless higher-is-better ratios compared vs baseline."""
     out = {}
@@ -159,6 +232,9 @@ def gated_metrics(results):
         out[f"fig7/{name}/ggrep_over_lg"] = row["ggrep_over_lg"]
     out["lazy_io/eager_over_lazy_bytes"] = results["lazy_io"][
         "eager_over_lazy_bytes"
+    ]
+    out["aggregation/baseline_over_agg_bytes"] = results["aggregation"][
+        "baseline_over_agg_bytes"
     ]
     return out
 
@@ -200,8 +276,16 @@ def main(argv=None):
         help="max ledger-on/ledger-off latency ratio (default: 1.03)",
     )
     parser.add_argument(
-        "--out", default=os.path.join(REPO, "BENCH_PR6.json"),
-        help="result ledger path (default: BENCH_PR6.json at the repo root)",
+        "--out", default=os.path.join(REPO, "BENCH_PR7.json"),
+        help="result ledger path (default: BENCH_PR7.json at the repo root)",
+    )
+    parser.add_argument(
+        "--agg-bytes-bar", type=float, default=0.25,
+        help="max pushdown/baseline bytes ratio for count-by (default: 0.25)",
+    )
+    parser.add_argument(
+        "--agg-time-bar", type=float, default=0.50,
+        help="max pushdown/baseline wall-time ratio for count-by (default: 0.50)",
     )
     parser.add_argument(
         "--baseline", default=os.path.join(HERE, "baseline.json"),
@@ -214,11 +298,12 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     results = {
-        "bench": "PR6 per-query resource ledger",
+        "bench": "PR7 aggregation pushdown",
         "lines_per_spec": args.lines,
         "rounds": args.rounds,
         "fig7": bench_fig7(args.lines, args.rounds),
         "lazy_io": bench_lazy_io(args.lines),
+        "aggregation": bench_aggregation(args.lines, args.rounds),
         # The overhead bar is the tightest gate (3%), so it gets triple
         # rounds: min-of-rounds on both sides needs the extra samples to
         # stay under the noise floor of shared CI runners.
@@ -233,6 +318,26 @@ def main(argv=None):
         failures.append(
             f"accounting overhead {overhead:.4f} exceeds the "
             f"{args.overhead_tolerance:.2f} bar (ledger not off the hot path)"
+        )
+
+    agg = results["aggregation"]
+    if not agg["counts_equal"]:
+        failures.append("aggregation: pushdown counts diverge from the baseline")
+    if agg["ledger_bytes"] != agg["agg_bytes"]:
+        failures.append(
+            f"aggregation: ledger read_bytes {agg['ledger_bytes']} does not "
+            f"reconcile with loggrep_store_range_read_bytes_total delta "
+            f"{agg['agg_bytes']}"
+        )
+    if agg["bytes_ratio"] > args.agg_bytes_bar:
+        failures.append(
+            f"aggregation: pushdown read {agg['bytes_ratio']:.1%} of baseline "
+            f"bytes (bar {args.agg_bytes_bar:.0%})"
+        )
+    if agg["time_ratio"] > args.agg_time_bar:
+        failures.append(
+            f"aggregation: pushdown took {agg['time_ratio']:.1%} of baseline "
+            f"wall time (bar {args.agg_time_bar:.0%})"
         )
 
     if args.update_baseline:

@@ -1,115 +1,51 @@
-"""Aggregation operators over extracted columns.
+"""Aggregation helpers — re-exported from :mod:`repro.query.aggregate`.
 
-Pure functions over value streams; the :class:`~repro.analytics.analyzer.
-Analyzer` feeds them columns pulled straight out of Capsules.
+The implementations moved into the query layer with the aggregation
+pushdown (the Aggregate pipeline operator and the cluster's partial
+merging need them without importing ``analytics``, which imports the
+LogGrep facade).  This module keeps the historical import path alive.
 """
 
 from __future__ import annotations
 
-import math
-import re
-from collections import Counter
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from ..query.aggregate import (
+    _NUMBER_RE,
+    AggregatePartial,
+    AggregateSpec,
+    CountPartial,
+    HistogramPartial,
+    NumericStats,
+    PairsPartial,
+    StatsPartial,
+    ValuesPartial,
+    count_values,
+    group_count,
+    histogram,
+    make_partial,
+    merge_partials,
+    numeric_stats,
+    parse_number,
+    stats_from_counts,
+    top_k,
+)
 
-#: Leading numeric run of a value ("40719us" → 40719, "-3.5ms" → -3.5).
-_NUMBER_RE = re.compile(r"^-?\d+(\.\d+)?")
-
-
-def count_values(values: Iterable[str]) -> Counter:
-    """value → occurrence count."""
-    return Counter(values)
-
-
-def top_k(values: Iterable[str], k: int) -> List[Tuple[str, int]]:
-    """The *k* most frequent values with their counts."""
-    return Counter(values).most_common(k)
-
-
-@dataclass(frozen=True)
-class NumericStats:
-    """Summary statistics of a numeric column."""
-
-    count: int
-    minimum: float
-    maximum: float
-    mean: float
-    p50: float
-    p95: float
-    p99: float
-
-    @classmethod
-    def empty(cls) -> "NumericStats":
-        return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan, math.nan)
-
-
-def _percentile(sorted_values: List[float], fraction: float) -> float:
-    if not sorted_values:
-        return math.nan
-    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
-    return sorted_values[index]
-
-
-def parse_number(value: str) -> Optional[float]:
-    """Leading numeric run of a value, tolerating unit suffixes
-    ("40719us" → 40719.0); None when the value has no leading number."""
-    match = _NUMBER_RE.match(value)
-    return float(match.group(0)) if match else None
-
-
-def numeric_stats(values: Iterable[str]) -> NumericStats:
-    """Parse values as numbers (skipping non-numeric) and summarize."""
-    numbers: List[float] = []
-    for value in values:
-        number = parse_number(value)
-        if number is not None:
-            numbers.append(number)
-    if not numbers:
-        return NumericStats.empty()
-    numbers.sort()
-    return NumericStats(
-        count=len(numbers),
-        minimum=numbers[0],
-        maximum=numbers[-1],
-        mean=sum(numbers) / len(numbers),
-        p50=_percentile(numbers, 0.50),
-        p95=_percentile(numbers, 0.95),
-        p99=_percentile(numbers, 0.99),
-    )
-
-
-def group_count(pairs: Iterable[Tuple[str, str]]) -> Dict[str, Counter]:
-    """(group key, value) pairs → per-key value counts."""
-    out: Dict[str, Counter] = {}
-    for key, value in pairs:
-        counter = out.get(key)
-        if counter is None:
-            counter = Counter()
-            out[key] = counter
-        counter[value] += 1
-    return out
-
-
-def histogram(
-    values: Iterable[str], bucket_count: int = 10
-) -> List[Tuple[float, float, int]]:
-    """Equal-width numeric histogram: (low, high, count) per bucket."""
-    numbers: List[float] = []
-    for value in values:
-        number = parse_number(value)
-        if number is not None:
-            numbers.append(number)
-    if not numbers:
-        return []
-    low, high = min(numbers), max(numbers)
-    if low == high:
-        return [(low, high, len(numbers))]
-    width = (high - low) / bucket_count
-    counts = [0] * bucket_count
-    for number in numbers:
-        index = min(bucket_count - 1, int((number - low) / width))
-        counts[index] += 1
-    return [
-        (low + i * width, low + (i + 1) * width, counts[i])
-        for i in range(bucket_count)
-    ]
+__all__ = [
+    "_NUMBER_RE",
+    "AggregatePartial",
+    "AggregateSpec",
+    "CountPartial",
+    "HistogramPartial",
+    "NumericStats",
+    "PairsPartial",
+    "StatsPartial",
+    "ValuesPartial",
+    "count_values",
+    "group_count",
+    "histogram",
+    "make_partial",
+    "merge_partials",
+    "numeric_stats",
+    "parse_number",
+    "stats_from_counts",
+    "top_k",
+]

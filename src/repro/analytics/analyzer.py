@@ -2,30 +2,42 @@
 
 This is the paper's "second phase" (§2) built on LogGrep's own storage:
 because groups are relations and variable vectors are columns, a
-``count_by``/``top_k``/``stats`` never reconstructs a single log line —
-it locates rows with the normal query engine, then pulls just the *one*
-column it needs out of the Capsules.
+``count_by``/``top_k``/``stats`` never reconstructs a single log line.
+
+Since the aggregation pushdown, the Analyzer is a thin facade over the
+query planner: every call builds an aggregate :class:`~repro.query.plan.
+QueryPlan` and hands it to ``LogGrep.aggregate`` — so analytics run on
+the same operator pipeline as ``grep`` (BloomPrune, BoxCache, lazy I/O,
+the ``query_parallelism`` thread pool, the ledger) and per-block partial
+aggregates merge order-independently.  No store blob or CapsuleBox is
+ever loaded here directly.
 
     analyzer = Analyzer(lg)
     analyzer.fields()                          # discovered schema
     analyzer.count_by("Project", where="ERROR")
-    analyzer.stats("latency")                  # numeric summary
+    analyzer.stats_of("latency")               # numeric summary
     analyzer.top_k("reqId", k=5, where="ERROR")
 """
 
 from __future__ import annotations
 
+import operator
 from collections import Counter
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..capsule.box import CapsuleBox
-from ..common.rowset import RowSet
-from ..core.loggrep import LogGrep
-from ..query.engine import BlockEngine
-from ..query.language import parse_query
+from ..core.loggrep import AggregateResult, LogGrep
+from ..query.aggregate import AggregateSpec, Bucket, NumericStats, parse_number
+from ..query.modes import AggregateKind
+from ..query.schema import Schema, schema_of
 from ..query.stats import QueryStats
-from .aggregate import NumericStats, count_values, numeric_stats, top_k as _top_k
-from .schema import FieldRef, Schema, discover_schema
+
+_FILTER_OPS = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+}
 
 
 class Analyzer:
@@ -33,16 +45,30 @@ class Analyzer:
 
     def __init__(self, loggrep: LogGrep):
         self.loggrep = loggrep
+        #: Merged execution stats of every aggregate this analyzer ran.
         self.stats = QueryStats()
+
+    def _run(
+        self, spec: AggregateSpec, where: Optional[str]
+    ) -> AggregateResult:
+        """One pushed-down aggregate; folds its stats into ``self.stats``."""
+        result = self.loggrep.aggregate(spec, where or None)
+        self.stats.merge(result.stats)
+        return result
 
     # ------------------------------------------------------------------
     # schema
     # ------------------------------------------------------------------
     def schemas(self) -> Dict[str, Schema]:
-        """block name → discovered schema."""
+        """block name → discovered schema.
+
+        Boxes load through the executor (shared BoxCache; metadata-only
+        under lazy I/O — discovery never touches capsule payloads).
+        """
+        executor = self.loggrep.executor
         return {
-            name: discover_schema(self.loggrep._load_box(name))
-            for name in self.loggrep.store.names()
+            name: schema_of(executor.load_box(name))
+            for name in executor.source.names()
         }
 
     def fields(self) -> List[str]:
@@ -59,45 +85,13 @@ class Analyzer:
     def column(self, field: str, where: Optional[str] = None) -> Iterator[str]:
         """Stream the values of *field*, optionally filtered by a query.
 
-        Only the Capsules of the requested column (and whatever the WHERE
-        filter needed) are decompressed — log lines are never rebuilt.
+        Runs as a ``VALUES`` aggregate plan: only the Capsules of the
+        requested column (and whatever the WHERE filter needed) are
+        decompressed — log lines are never rebuilt.
         """
-        command = parse_query(where) if where else None
-        for name in self.loggrep.store.names():
-            box = self.loggrep._load_box(name)
-            schema = discover_schema(box)
-            refs = schema.by_name(field)
-            if not refs:
-                continue
-            settings = self.loggrep.config.query_settings()
-            engine = BlockEngine(box, settings, self.stats)
-            hits = engine.execute(command) if command is not None else None
-            for ref in refs:
-                rows = self._rows_for(box, ref, hits)
-                if rows is None:
-                    continue
-                if ref.is_constant:
-                    for _ in range(len(rows)):
-                        yield ref.constant
-                    continue
-                reader = engine.reader(ref.group_index, ref.var_index)
-                if rows.is_full():
-                    for value in reader.values_list():
-                        yield ref.clean(value)
-                else:
-                    for row in rows:
-                        yield ref.clean(reader.value_at(row))
-
-    @staticmethod
-    def _rows_for(
-        box: CapsuleBox, ref: FieldRef, hits: Optional[Dict[int, RowSet]]
-    ) -> Optional[RowSet]:
-        group = box.groups[ref.group_index]
-        if group.num_entries == 0:
-            return None
-        if hits is None:
-            return RowSet.full(group.num_entries)
-        return hits.get(ref.group_index)
+        spec = AggregateSpec(AggregateKind.VALUES, field)
+        values: List[str] = self._run(spec, where).value  # type: ignore[assignment]
+        yield from values
 
     def pairs(
         self, key_field: str, value_field: str, where: Optional[str] = None
@@ -107,64 +101,38 @@ class Analyzer:
         Both fields must live in the same group (the same log template),
         otherwise the rows cannot be joined.
         """
-        command = parse_query(where) if where else None
-        for name in self.loggrep.store.names():
-            box = self.loggrep._load_box(name)
-            schema = discover_schema(box)
-            value_refs = {
-                (ref.group_index): ref for ref in schema.by_name(value_field)
-            }
-            settings = self.loggrep.config.query_settings()
-            engine = BlockEngine(box, settings, self.stats)
-            hits = engine.execute(command) if command is not None else None
-            for key_ref in schema.by_name(key_field):
-                value_ref = value_refs.get(key_ref.group_index)
-                if value_ref is None:
-                    continue
-                rows = self._rows_for(box, key_ref, hits)
-                if rows is None:
-                    continue
-
-                def _column(ref):
-                    if ref.is_constant:
-                        return None
-                    return engine.reader(ref.group_index, ref.var_index)
-
-                key_reader = _column(key_ref)
-                value_reader = _column(value_ref)
-
-                def _value(ref, reader, row):
-                    if ref.is_constant:
-                        return ref.constant
-                    return ref.clean(reader.value_at(row))
-
-                if rows.is_full() and key_reader and value_reader:
-                    for key, value in zip(
-                        key_reader.values_list(), value_reader.values_list()
-                    ):
-                        yield key_ref.clean(key), value_ref.clean(value)
-                else:
-                    for row in rows:
-                        yield (
-                            _value(key_ref, key_reader, row),
-                            _value(value_ref, value_reader, row),
-                        )
+        spec = AggregateSpec(
+            AggregateKind.PAIRS, key_field, value_field=value_field
+        )
+        extracted: List[Tuple[str, str]] = self._run(spec, where).value  # type: ignore[assignment]
+        yield from extracted
 
     # ------------------------------------------------------------------
     # aggregations
     # ------------------------------------------------------------------
-    def count_by(self, field: str, where: Optional[str] = None) -> Counter:
-        """value → number of entries, SQL ``GROUP BY field COUNT(*)``."""
-        return count_values(self.column(field, where))
+    def count_by(
+        self, field: str, where: Optional[str] = None
+    ) -> "Counter[str]":
+        """value → number of entries, SQL ``GROUP BY field COUNT(*)`` —
+        counted from dictionary index cells, no payload decode."""
+        spec = AggregateSpec(AggregateKind.COUNT_BY, field)
+        return self._run(spec, where).value  # type: ignore[return-value]
 
     def top_k(
         self, field: str, k: int = 10, where: Optional[str] = None
     ) -> List[Tuple[str, int]]:
-        return _top_k(self.column(field, where), k)
+        spec = AggregateSpec(AggregateKind.TOP_K, field, k=k)
+        return self._run(spec, where).value  # type: ignore[return-value]
 
     def stats_of(self, field: str, where: Optional[str] = None) -> NumericStats:
-        """Numeric summary (count/min/max/mean/p50/p95/p99)."""
-        return numeric_stats(self.column(field, where))
+        """Numeric summary (count/min/max/mean/p50/p95/p99 + nulls)."""
+        spec = AggregateSpec(AggregateKind.STATS, field)
+        return self._run(spec, where).value  # type: ignore[return-value]
+
+    def count_templates(self, where: Optional[str] = None) -> "Counter[str]":
+        """Entries per static pattern — ``COUNT BY template`` (§2)."""
+        spec = AggregateSpec(AggregateKind.COUNT_BY_TEMPLATE)
+        return self._run(spec, where).value  # type: ignore[return-value]
 
     def distinct(self, field: str, where: Optional[str] = None) -> List[str]:
         seen: Dict[str, None] = {}
@@ -182,59 +150,32 @@ class Analyzer:
         """Count entries whose numeric *field* satisfies ``op threshold``.
 
         Supported ops: ``>``, ``>=``, ``<``, ``<=``, ``==``.  Values parse
-        like :func:`~repro.analytics.aggregate.parse_number` (unit suffixes
-        tolerated).  This is the columnar ``WHERE latency > 50000`` scan:
-        only the field's Capsules are decompressed.
+        like :func:`~repro.query.aggregate.parse_number` (unit suffixes
+        tolerated).  Runs on the per-distinct-value counts of a pushed-down
+        ``COUNT_BY`` plan — the columnar ``WHERE latency > 50000`` scan
+        without decoding each row.
         """
-        import operator
-
-        ops = {
-            ">": operator.gt,
-            ">=": operator.ge,
-            "<": operator.lt,
-            "<=": operator.le,
-            "==": operator.eq,
-        }
-        if op not in ops:
-            raise ValueError(f"unsupported operator {op!r}; one of {sorted(ops)}")
-        compare = ops[op]
-        from .aggregate import parse_number
-
+        if op not in _FILTER_OPS:
+            raise ValueError(
+                f"unsupported operator {op!r}; one of {sorted(_FILTER_OPS)}"
+            )
+        compare = _FILTER_OPS[op]
         count = 0
-        for value in self.column(field, where):
+        for value, n in self.count_by(field, where).items():
             number = parse_number(value)
             if number is not None and compare(number, threshold):
-                count += 1
+                count += n
         return count
 
-    def timeline(
-        self, where: str, buckets: int = 20
-    ) -> List[Tuple[int, int, int]]:
+    def timeline(self, where: str, buckets: int = 20) -> List[Bucket]:
         """Hit rate over logical time: (first id, last id, hits) buckets.
 
         Line ids are the archive's logical clock (§3's timestamp
         substitute), so bucketing hit ids shows when an incident started
         and how it evolved — without reconstructing a single line.
         """
-        command = parse_query(where)
-        hit_ids: List[int] = []
-        total_lines = 0
-        for name in self.loggrep.store.names():
-            box = self.loggrep._load_box(name)
-            total_lines = max(total_lines, box.first_line_id + box.num_lines)
-            settings = self.loggrep.config.query_settings()
-            engine = BlockEngine(box, settings, self.stats)
-            for group_idx, rows in engine.execute(command).items():
-                line_ids = box.groups[group_idx].line_ids
-                for row in rows:
-                    hit_ids.append(box.first_line_id + line_ids[row])
-        if total_lines == 0 or buckets <= 0:
+        total = self.loggrep.total_lines()
+        if total == 0 or buckets <= 0:
             return []
-        width = max(1, -(-total_lines // buckets))  # ceil division
-        counts = [0] * buckets
-        for hit in hit_ids:
-            counts[min(buckets - 1, hit // width)] += 1
-        return [
-            (i * width, min(total_lines, (i + 1) * width) - 1, counts[i])
-            for i in range(buckets)
-        ]
+        spec = LogGrep._timeseries_spec(total, buckets)
+        return self._run(spec, where).value  # type: ignore[return-value]

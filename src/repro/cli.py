@@ -130,6 +130,42 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--top", type=int, default=20, help="rows to print (default 20)")
     analyze.add_argument("-w", "--where", help="optional query filter")
 
+    agg = sub.add_parser(
+        "agg",
+        help="pushed-down aggregation: GROUP BY / top-k / stats / timeseries "
+        "without reconstructing lines",
+    )
+    agg.add_argument(
+        "kind",
+        choices=("count-by", "top-k", "stats", "timeseries", "count-templates"),
+        help="aggregate to run",
+    )
+    agg.add_argument(
+        "field", nargs="?",
+        help="field to aggregate (required for count-by/top-k/stats)",
+    )
+    agg.add_argument("-a", "--archive", required=True, help="archive directory")
+    agg.add_argument("-w", "--where", help="optional query filter (WHERE clause)")
+    agg.add_argument(
+        "-k", "--top", type=int, default=10, metavar="K",
+        help="rows for top-k / rows printed for count-by (default 10)",
+    )
+    agg.add_argument(
+        "--buckets", type=int, default=20,
+        help="bucket count for timeseries (default 20)",
+    )
+    agg.add_argument("-i", "--ignore-case", action="store_true")
+    agg.add_argument(
+        "-j", "--parallelism", type=int, default=1, metavar="N",
+        help="aggregate blocks on an N-thread pool (default: 1, serial)",
+    )
+    agg.add_argument(
+        "--analyze", action="store_true",
+        help="EXPLAIN ANALYZE: run with the per-query resource ledger and "
+        "print the per-operator table to stderr",
+    )
+    agg.add_argument("--json", action="store_true", help="emit the result as JSON")
+
     explain = sub.add_parser("explain", help="show the query plan (stamp/pattern decisions)")
     explain.add_argument("query", help="query command to plan")
     explain.add_argument("-a", "--archive", required=True, help="archive directory")
@@ -355,6 +391,73 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not did_something:
             print("nothing to do: pass --fields, --count-by or --stats-of")
             return 2
+        return 0
+
+    if args.command == "agg":
+        from .query.aggregate import AggregateSpec, NumericStats
+        from .query.modes import AggregateKind
+
+        needs_field = args.kind in ("count-by", "top-k", "stats")
+        if needs_field and not args.field:
+            print(f"loggrep: agg {args.kind} requires a FIELD", file=sys.stderr)
+            return 2
+
+        lg = _open(args.archive, query_parallelism=args.parallelism)
+        if args.kind == "timeseries":
+            total = lg.total_lines()
+            if total == 0 or args.buckets <= 0:
+                spec = None
+            else:
+                spec = LogGrep._timeseries_spec(total, args.buckets)
+        elif args.kind == "count-templates":
+            spec = AggregateSpec(AggregateKind.COUNT_BY_TEMPLATE)
+        elif args.kind == "count-by":
+            spec = AggregateSpec(AggregateKind.COUNT_BY, args.field)
+        elif args.kind == "top-k":
+            spec = AggregateSpec(AggregateKind.TOP_K, args.field, k=args.top)
+        else:  # stats
+            spec = AggregateSpec(AggregateKind.STATS, args.field)
+
+        if spec is None:
+            result_value: object = []
+            report = ""
+        else:
+            result = lg.aggregate(
+                spec,
+                args.where,
+                ignore_case=args.ignore_case,
+                analyze=args.analyze,
+            )
+            result_value = result.value
+            report = result.report
+
+        if args.json:
+            if isinstance(result_value, NumericStats):
+                doc: object = result_value.__dict__
+            elif hasattr(result_value, "most_common"):
+                doc = dict(result_value)  # type: ignore[call-overload]
+            else:
+                doc = result_value
+            print(json.dumps(doc, indent=2, default=str))
+        elif args.kind == "stats":
+            s = result_value
+            assert isinstance(s, NumericStats)
+            print(
+                f"count={s.count} nulls={s.nulls} min={s.minimum} "
+                f"max={s.maximum} mean={s.mean:.2f} p50={s.p50} "
+                f"p95={s.p95} p99={s.p99}"
+            )
+        elif args.kind == "timeseries":
+            for low, high, hits in result_value:  # type: ignore[union-attr]
+                print(f"[{low:10d} .. {high:10d}]  {hits}")
+        elif args.kind == "top-k":
+            for value, count in result_value:  # type: ignore[union-attr]
+                print(f"{count:8d}  {value}")
+        else:  # count-by / count-templates: a Counter
+            for value, count in result_value.most_common(args.top):  # type: ignore[union-attr]
+                print(f"{count:8d}  {value}")
+        if args.analyze and report:
+            print(report, file=sys.stderr)
         return 0
 
     if args.command == "report":

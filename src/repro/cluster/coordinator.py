@@ -19,6 +19,8 @@
 from __future__ import annotations
 
 import logging
+import time
+from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -26,14 +28,26 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..blockstore.block import split_lines
 from ..common.errors import ReproError
 from ..core.config import LogGrepConfig
-from ..core.loggrep import GrepResult
+from ..core.loggrep import AggregateResult, GrepResult, LogGrep
+from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
-from ..query.plan import OutputMode, build_plan
+from ..query.aggregate import AggregateSpec, Bucket, NumericStats, make_partial
+from ..query.modes import AggregateKind
+from ..query.plan import OutputMode, build_aggregate_plan, build_plan
 from ..query.stats import QueryStats
 from .node import NodeDownError, WorkerNode
 from .placement import replica_nodes
 
 logger = logging.getLogger(__name__)
+
+_CLUSTER_AGG_QUERIES = get_registry().counter(
+    "loggrep_cluster_agg_queries_total",
+    "Aggregate queries scattered by the coordinator",
+)
+_CLUSTER_AGG_PARTIALS = get_registry().counter(
+    "loggrep_agg_partials_merged_total",
+    "Per-block aggregate partials folded into a merged result",
+)
 
 
 class ClusterError(ReproError):
@@ -186,6 +200,91 @@ class ClusterLogGrep:
             return hit_count
 
         return sum(self._pool.map(count_one, sorted(self._placement)))
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def aggregate(
+        self,
+        spec: AggregateSpec,
+        where: Optional[str] = None,
+        ignore_case: bool = False,
+    ) -> AggregateResult:
+        """Distributed aggregate: one plan shipped, partials merged.
+
+        The aggregate plan is built once and scattered like ``grep``; each
+        alive replica runs the Aggregate operator over its block and
+        returns a compact partial instead of reconstructed lines.  Partial
+        merging is commutative (Counter addition / multiset union), so the
+        thread pool's completion order never changes the result — the
+        merged value is identical to a single-node run over the same
+        lines.
+        """
+        tracer = get_tracer()
+        start = time.perf_counter()
+        plan = build_aggregate_plan(spec, where, ignore_case=ignore_case)
+        stats = QueryStats()
+        merged = make_partial(spec)
+        matched = 0
+        _CLUSTER_AGG_QUERIES.inc(kind=spec.kind.value)
+        with tracer.span(
+            "cluster.aggregate", kind=spec.kind.value, where=where or ""
+        ) as qspan:
+            def agg_one(name: str):
+                with tracer.span(
+                    "cluster.aggregate_block", parent=qspan, block=name
+                ) as bspan:
+                    def run(node: WorkerNode):
+                        bspan.set("node", node.node_id)
+                        return node.aggregate_block(name, plan)
+
+                    return self._on_replica(name, run)
+
+            for partial, count, block_stats in self._pool.map(
+                agg_one, sorted(self._placement)
+            ):
+                stats.merge(block_stats)
+                matched += count
+                if partial is not None:
+                    merged.merge(partial)
+                    _CLUSTER_AGG_PARTIALS.inc()
+            stats.entries_matched = matched
+            qspan.set("blocks", len(self._placement))
+            qspan.set("entries_matched", matched)
+        elapsed = time.perf_counter() - start
+        stats.publish(elapsed)
+        return AggregateResult(merged.finalize(spec), matched, stats, elapsed)
+
+    def count_by(
+        self, field: str, where: Optional[str] = None
+    ) -> "Counter[str]":
+        """Distributed ``GROUP BY field COUNT(*)`` from index cells."""
+        spec = AggregateSpec(AggregateKind.COUNT_BY, field)
+        return self.aggregate(spec, where).value  # type: ignore[return-value]
+
+    def top_k(
+        self, field: str, k: int = 10, where: Optional[str] = None
+    ) -> List[Tuple[str, int]]:
+        spec = AggregateSpec(AggregateKind.TOP_K, field, k=k)
+        return self.aggregate(spec, where).value  # type: ignore[return-value]
+
+    def stats_of(self, field: str, where: Optional[str] = None) -> NumericStats:
+        spec = AggregateSpec(AggregateKind.STATS, field)
+        return self.aggregate(spec, where).value  # type: ignore[return-value]
+
+    def timeseries(
+        self, where: Optional[str] = None, buckets: int = 20
+    ) -> List[Bucket]:
+        """Hit counts over logical time, merged across the cluster.
+
+        The coordinator assigned every global line id at ingest, so its
+        ``_next_line_id`` is the archive's logical-clock extent.
+        """
+        total = self._next_line_id
+        if total == 0 or buckets <= 0:
+            return []
+        spec = LogGrep._timeseries_spec(total, buckets)
+        return self.aggregate(spec, where).value  # type: ignore[return-value]
 
     def _on_replica(self, name: str, action):
         """Run *action* on the first alive replica of a block."""

@@ -18,6 +18,7 @@ from ..common.errors import ReproError
 from ..core.compressor import compress_block
 from ..core.config import LogGrepConfig
 from ..obs.metrics import get_registry
+from ..query.aggregate import AggregatePartial
 from ..query.executor import QueryExecutor, StoreBoxSource
 from ..query.plan import QueryPlan
 from ..query.stats import QueryStats
@@ -108,3 +109,21 @@ class WorkerNode:
         stats = QueryStats()
         outcome = self._executor.execute_block(name, plan, stats)
         return outcome.entries, outcome.count, stats
+
+    def aggregate_block(
+        self, name: str, plan: QueryPlan
+    ) -> Tuple[Optional[AggregatePartial], int, QueryStats]:
+        """Execute an aggregate *plan* over one local block.
+
+        Same pipeline as :meth:`query_block` but the plan carries an
+        :class:`~repro.query.aggregate.AggregateSpec`, so Reconstruct is
+        replaced by the Aggregate operator and the node ships back a
+        compact partial (a Counter / stats multiset / histogram) instead
+        of log lines.  Partials merge commutatively coordinator-side.
+        """
+        self._check_alive()
+        self.queries_served += 1
+        _NODE_QUERIES.inc(node=self.node_id)
+        stats = QueryStats()
+        outcome = self._executor.execute_block(name, plan, stats)
+        return outcome.partial, outcome.count, stats

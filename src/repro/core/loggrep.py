@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import logging
 import time
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..blockstore.block import LogBlock, block_name, split_lines
 from ..blockstore.index import ArchiveIndex, load_index, save_index
@@ -31,10 +32,17 @@ from ..capsule.box import CapsuleBox
 from ..common.rowset import RowSet
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
+from ..query.aggregate import (
+    AggregateSpec,
+    Bucket,
+    NumericStats,
+    make_partial,
+)
 from ..query.cache import QueryCache, get_value_cache
 from ..query.executor import BoxCache, QueryExecutor, StoreBoxSource
 from ..query.explain import render_analyze
-from ..query.plan import OutputMode
+from ..query.modes import AggregateKind
+from ..query.plan import OutputMode, build_aggregate_plan
 from ..query.stats import NULL_LEDGER, QueryLedger, QueryStats
 from ..staticparse.cache import TemplateCache
 from .config import LogGrepConfig
@@ -61,6 +69,27 @@ class GrepResult:
     @property
     def count(self) -> int:
         return len(self.lines)
+
+
+@dataclass
+class AggregateResult:
+    """The outcome of one aggregate query.
+
+    ``value`` is the finalized aggregate — a ``Counter`` (count-by),
+    ``[(value, count)]`` (top-k), :class:`NumericStats` (stats) or
+    ``[(low, high, count)]`` buckets (timeseries).
+    """
+
+    value: object
+    #: Entries that matched the WHERE filter (what COUNT would return).
+    matched: int
+    stats: QueryStats
+    elapsed: float
+    #: Per-query resource accounting (NULL_LEDGER unless analyze=True,
+    #: a slow-query threshold or a budget activated it).
+    ledger: QueryLedger = NULL_LEDGER
+    #: EXPLAIN ANALYZE report (empty unless analyze=True).
+    report: str = ""
 
 
 @dataclass
@@ -259,6 +288,137 @@ class LogGrep:
         ``query_parallelism`` thread pool.
         """
         return self._executor.run(command, OutputMode.COUNT, ignore_case).count
+
+    # ------------------------------------------------------------------
+    # aggregation (pushdown: executed as the Aggregate pipeline operator)
+    # ------------------------------------------------------------------
+    @property
+    def executor(self) -> QueryExecutor:
+        """The physical pipeline behind every query and aggregate.
+
+        Public so the analytics facade (and tests) can route box loading
+        and per-block execution through the shared BoxCache/lazy-I/O
+        path instead of touching the store directly.
+        """
+        return self._executor
+
+    def aggregate(
+        self,
+        spec: AggregateSpec,
+        where: Optional[str] = None,
+        ignore_case: bool = False,
+        analyze: bool = False,
+    ) -> AggregateResult:
+        """Run one aggregate over the archive without reconstructing lines.
+
+        The WHERE filter (optional) locates rows exactly like ``grep``;
+        the Aggregate operator then folds them into per-block partials —
+        counting nominal columns by raw dictionary index cells — which
+        merge order-independently across the ``query_parallelism`` pool.
+        ``analyze=True`` activates the per-query ledger and renders the
+        EXPLAIN ANALYZE table into ``result.report``.
+        """
+        mode = OutputMode.ANALYZE if analyze else OutputMode.AGGREGATE
+        plan = build_aggregate_plan(spec, where, mode, ignore_case)
+        result = self._executor.run(plan)
+        partial = (
+            result.aggregate
+            if result.aggregate is not None
+            else make_partial(spec)
+        )
+        report = ""
+        if analyze:
+            report = render_analyze(
+                result.ledger,
+                result.stats,
+                result.elapsed,
+                self._executor.describe(plan),
+            )
+        return AggregateResult(
+            partial.finalize(spec),
+            result.count,
+            result.stats,
+            result.elapsed,
+            result.ledger,
+            report,
+        )
+
+    def count_by(
+        self, field: str, where: Optional[str] = None
+    ) -> "Counter[str]":
+        """value → number of entries: SQL ``GROUP BY field COUNT(*)``,
+        answered from dictionary index cells (§2)."""
+        spec = AggregateSpec(AggregateKind.COUNT_BY, field)
+        return self.aggregate(spec, where).value  # type: ignore[return-value]
+
+    def top_k(
+        self, field: str, k: int = 10, where: Optional[str] = None
+    ) -> List[Tuple[str, int]]:
+        """The *k* most frequent values of a field with their counts."""
+        spec = AggregateSpec(AggregateKind.TOP_K, field, k=k)
+        return self.aggregate(spec, where).value  # type: ignore[return-value]
+
+    def stats_of(
+        self, field: str, where: Optional[str] = None
+    ) -> NumericStats:
+        """Numeric summary (count/min/max/mean/p50/p95/p99 + nulls)."""
+        spec = AggregateSpec(AggregateKind.STATS, field)
+        return self.aggregate(spec, where).value  # type: ignore[return-value]
+
+    def timeseries(
+        self, where: Optional[str] = None, buckets: int = 20
+    ) -> List[Bucket]:
+        """Hit counts over logical time: (first id, last id, hits) buckets.
+
+        Line ids are the archive's logical clock (§3's timestamp
+        substitute); bucketing reads only group metadata — zero capsule
+        payloads.
+        """
+        total = self.total_lines()
+        if total == 0 or buckets <= 0:
+            return []
+        spec = self._timeseries_spec(total, buckets)
+        return self.aggregate(spec, where).value  # type: ignore[return-value]
+
+    @staticmethod
+    def _timeseries_spec(total_lines: int, buckets: int) -> AggregateSpec:
+        width = max(1, -(-total_lines // buckets))  # ceil division
+        return AggregateSpec(
+            AggregateKind.HISTOGRAM,
+            buckets=buckets,
+            bucket_width=width,
+            total_lines=total_lines,
+        )
+
+    def count_by_template(
+        self, where: Optional[str] = None
+    ) -> "Counter[str]":
+        """Entries per static pattern (``COUNT BY template``) — answered
+        from row sets alone, zero capsule payloads."""
+        spec = AggregateSpec(AggregateKind.COUNT_BY_TEMPLATE)
+        return self.aggregate(spec, where).value  # type: ignore[return-value]
+
+    def total_lines(self) -> int:
+        """Logical-clock extent of the archive (max line id + 1).
+
+        Answered from the prune-index summaries when loaded — zero store
+        reads — falling back to box metadata (header-only under lazy I/O).
+        """
+        if self._next_line_id:
+            return self._next_line_id
+        best = 0
+        names = self.store.names()
+        if self._index is not None:
+            summaries = [self._index.get(name) for name in names]
+            if all(summary is not None for summary in summaries):
+                for summary in summaries:
+                    assert summary is not None
+                    best = max(best, summary.first_line_id + summary.num_lines)
+                return best
+        for name in names:
+            box = self._executor.load_box(name)
+            best = max(best, box.first_line_id + box.num_lines)
+        return best
 
     def _load_box(self, name: str) -> CapsuleBox:
         # Boxes are loaded per query by default (the paper reads the

@@ -90,7 +90,7 @@ class BlockEngine:
         resolve = resolver or self.search_string_rows
         total: GroupRows = {}
         for disjunct in plan.disjuncts:
-            acc = self._full_rows()
+            acc = self.full_rows()
             for term in disjunct.terms:
                 rows = resolve(term.search)
                 if term.negated:
@@ -102,7 +102,10 @@ class BlockEngine:
             total = _union(total, acc)
         return {g: rs for g, rs in total.items() if rs}
 
-    def _full_rows(self) -> GroupRows:
+    def full_rows(self) -> GroupRows:
+        """Every row of every non-empty group — the identity of the
+        row-set algebra, and the row source for unfiltered aggregates
+        (``agg count-by`` with no WHERE)."""
         return {
             g: RowSet.full(group.num_entries)
             for g, group in enumerate(self.box.groups)

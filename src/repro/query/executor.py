@@ -51,12 +51,16 @@ from ..common.errors import BudgetExceeded
 from ..obs import ledger as ledger_channel
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
+from .aggregate import AggregatePartial, AggregateSpec, make_partial
 from .blockfilter import command_might_match, summary_might_match
 from .cache import QueryCache
 from .engine import BlockEngine, GroupRows
 from .language import QueryCommand, SearchString
+from .modes import AggregateKind
 from .plan import OutputMode, QueryPlan, build_plan
+from .schema import FieldRef, schema_of
 from .stats import NULL_LEDGER, BudgetMeter, QueryLedger, QueryStats
+from .vectors import NominalVectorReader
 
 _BOX_HITS = get_registry().counter(
     "loggrep_box_cache_hits_total", "Box cache lookups that hit"
@@ -69,6 +73,24 @@ _BOX_EVICTIONS = get_registry().counter(
 )
 _BOX_ENTRIES = get_registry().gauge(
     "loggrep_box_cache_entries", "Deserialized boxes currently pinned"
+)
+_AGG_QUERIES = get_registry().counter(
+    "loggrep_agg_queries_total", "Aggregate plans executed, by kind"
+)
+_AGG_ROWS = get_registry().counter(
+    "loggrep_agg_rows_total", "Rows folded into partial aggregates"
+)
+_AGG_INDEX_ROWS = get_registry().counter(
+    "loggrep_agg_index_rows_total",
+    "Rows aggregated via raw index-cell counting (no value decode)",
+)
+_AGG_DECODED_ROWS = get_registry().counter(
+    "loggrep_agg_decoded_rows_total",
+    "Rows aggregated by decoding values (real/plain vectors)",
+)
+_AGG_PARTIALS = get_registry().counter(
+    "loggrep_agg_partials_merged_total",
+    "Per-block partial aggregates merged into query results",
 )
 
 #: One reconstructed entry: (global line id, original text).
@@ -188,6 +210,8 @@ class BlockOutcome:
     entries: List[Entry] = field(default_factory=list)
     count: int = 0
     rendering: Optional[str] = None  # EXPLAIN mode only
+    #: Per-block partial aggregate (aggregate plans only).
+    partial: Optional[AggregatePartial] = None
 
 
 @dataclass
@@ -202,6 +226,9 @@ class ExecutionResult:
     #: Per-query resource accounting; NULL_LEDGER unless ANALYZE mode, a
     #: slow-query threshold or a budget activated it.
     ledger: QueryLedger = NULL_LEDGER
+    #: The merged partial aggregate (aggregate plans only); callers
+    #: ``finalize`` it against the plan's spec.
+    aggregate: Optional[AggregatePartial] = None
 
     @property
     def count(self) -> int:
@@ -257,14 +284,31 @@ class QueryExecutor:
                 outcomes = self._schedule(names, plan, stats, qspan, ledger)
                 entries: List[Entry] = []
                 renderings: List[str] = []
+                merged: Optional[AggregatePartial] = None
                 total = 0
                 for outcome in outcomes:
                     entries.extend(outcome.entries)
                     total += outcome.count
                     if outcome.rendering is not None:
                         renderings.append(outcome.rendering)
+                    if outcome.partial is not None:
+                        # Partial merge is commutative, so the block-order
+                        # fold here equals any completion-order fold.
+                        if merged is None:
+                            merged = make_partial(plan.aggregate)
+                        merged.merge(outcome.partial)
+                        _AGG_PARTIALS.inc()
                 entries.sort(key=lambda item: item[0])
                 stats.entries_matched = total
+                if (
+                    plan.aggregate is not None
+                    and plan.mode is not OutputMode.EXPLAIN
+                ):
+                    if merged is None:
+                        merged = make_partial(plan.aggregate)
+                    _AGG_QUERIES.inc(kind=plan.aggregate.kind.value)
+                    _AGG_ROWS.inc(merged.rows)
+                    qspan.set("aggregate_rows", merged.rows)
                 qspan.set("blocks", len(names))
                 qspan.set("entries_matched", stats.entries_matched)
                 qspan.set("capsules_decompressed", stats.capsules_decompressed)
@@ -278,7 +322,9 @@ class QueryExecutor:
         if plan.mode is not OutputMode.EXPLAIN:
             stats.publish(elapsed)
         self._maybe_log_slow(plan, stats, ledger, elapsed)
-        return ExecutionResult(plan, entries, stats, elapsed, renderings, ledger)
+        return ExecutionResult(
+            plan, entries, stats, elapsed, renderings, ledger, merged
+        )
 
     def _make_ledger(self, mode: OutputMode) -> QueryLedger:
         """An active ledger when anything will consume it, else the null
@@ -395,7 +441,9 @@ class QueryExecutor:
         # -- BloomPrune: with an index entry the whole check runs in
         # memory (zero store reads); otherwise only the Bloom section is
         # fetched via the TOC — a prune never pays a whole-blob read.
-        if box is None and (use_bloom or summary is not None):
+        # A match-all aggregate (no disjuncts) can never be pruned, so
+        # the filter is skipped outright.
+        if box is None and plan.disjuncts and (use_bloom or summary is not None):
             with tracer.span("block_filter") as fspan, ledger.operator(
                 "block_filter"
             ):
@@ -438,14 +486,31 @@ class QueryExecutor:
             return BlockOutcome(
                 name, rendering=explain_block(box, plan, name).summary()
             )
-        # -- Locate (calling Match per search string)
+        # -- Locate (calling Match per search string).  A match-all
+        # aggregate has nothing to locate: every row of every group.
         engine = BlockEngine(box, self._settings(), stats)
         with tracer.span("locate") as lspan, ledger.operator("locate"):
-            hits = engine.execute(
-                plan, self._matcher(name, engine, stats, ledger)
-            )
+            if plan.disjuncts:
+                hits = engine.execute(
+                    plan, self._matcher(name, engine, stats, ledger)
+                )
+            else:
+                hits = engine.full_rows()
             lspan.set("groups_hit", len(hits))
         count = sum(len(rows) for rows in hits.values())
+        # -- Aggregate (replaces Reconstruct for aggregate plans): fold
+        # the located rows into a per-block partial without rebuilding a
+        # single line.  ANALYZE aggregates run the same operator with the
+        # ledger active.
+        if plan.aggregate is not None:
+            with tracer.span(
+                "aggregate", kind=plan.aggregate.kind.value
+            ) as aspan, ledger.operator("aggregate"):
+                partial = self._aggregate_block(
+                    box, engine, plan.aggregate, hits
+                )
+                aspan.set("rows", partial.rows)
+            return BlockOutcome(name, count=count, partial=partial)
         # -- Reconstruct (elided for COUNT plans; ANALYZE runs it in full
         # so the ledger reflects what a real LINES query would cost)
         entries: List[Entry] = []
@@ -467,6 +532,131 @@ class QueryExecutor:
                 entries = reconstructor.reconstruct(hits)
                 rspan.set("entries", len(entries))
         return BlockOutcome(name, entries=entries, count=count)
+
+    # ------------------------------------------------------------------
+    # the Aggregate operator
+    # ------------------------------------------------------------------
+    def _aggregate_block(
+        self,
+        box: CapsuleBox,
+        engine: BlockEngine,
+        spec: AggregateSpec,
+        hits: GroupRows,
+    ) -> AggregatePartial:
+        """Fold one block's located rows into a partial aggregate.
+
+        Dictionary index cells and group metadata do almost all the work:
+
+        * ``COUNT_BY_TEMPLATE`` counts row sets per static pattern —
+          zero capsule payloads touched;
+        * ``HISTOGRAM`` buckets ``first_line_id + line_ids[row]`` — the
+          logical clock, again zero payloads;
+        * field aggregates go through the readers' ``value_counts``: on
+          nominal vectors that is raw index-cell counting (payload reads
+          proportional to *distinct* values), real/plain vectors decode —
+          the documented residual slow path.
+        """
+        partial = make_partial(spec)
+        if spec.kind is AggregateKind.COUNT_BY_TEMPLATE:
+            for group_idx, rows in hits.items():
+                partial.add(  # type: ignore[attr-defined]
+                    box.groups[group_idx].template.display(), len(rows)
+                )
+            return partial
+        if spec.kind is AggregateKind.HISTOGRAM:
+            for group_idx, rows in hits.items():
+                line_ids = box.groups[group_idx].line_ids
+                base = box.first_line_id
+                for row in rows:
+                    partial.add_line(base + line_ids[row], spec)  # type: ignore[attr-defined]
+            return partial
+        if spec.kind is AggregateKind.PAIRS:
+            self._aggregate_pairs(box, engine, spec, hits, partial)
+            return partial
+        if spec.kind is AggregateKind.VALUES:
+            self._aggregate_values(box, engine, spec, hits, partial)
+            return partial
+        # COUNT_BY / TOP_K / STATS: per-distinct-value counts suffice.
+        schema = schema_of(box)
+        for ref in schema.by_name(spec.field or ""):
+            rows = hits.get(ref.group_index)
+            if not rows:
+                continue
+            if ref.is_constant:
+                partial.add(ref.constant or "", len(rows))  # type: ignore[attr-defined]
+                continue
+            reader = engine.reader(ref.group_index, ref.var_index)
+            counts = reader.value_counts(rows)
+            if isinstance(reader, NominalVectorReader):
+                _AGG_INDEX_ROWS.inc(len(rows))
+            else:
+                _AGG_DECODED_ROWS.inc(len(rows))
+            for value, n in counts.items():
+                partial.add(ref.clean(value), n)  # type: ignore[attr-defined]
+        return partial
+
+    def _column_values(
+        self,
+        engine: BlockEngine,
+        ref: FieldRef,
+        rows: object,
+    ) -> List[str]:
+        """One field's (cleaned) values for the given row set, in row
+        order — the VALUES/PAIRS extraction path."""
+        if ref.is_constant:
+            return [ref.constant or ""] * len(rows)  # type: ignore[arg-type]
+        reader = engine.reader(ref.group_index, ref.var_index)
+        _AGG_DECODED_ROWS.inc(len(rows))  # type: ignore[arg-type]
+        if rows.is_full():  # type: ignore[attr-defined]
+            return [ref.clean(value) for value in reader.values_list()]
+        return [ref.clean(reader.value_at(row)) for row in rows]  # type: ignore[attr-defined]
+
+    def _aggregate_values(
+        self,
+        box: CapsuleBox,
+        engine: BlockEngine,
+        spec: AggregateSpec,
+        hits: GroupRows,
+        partial: AggregatePartial,
+    ) -> None:
+        schema = schema_of(box)
+        chunk: List[str] = []
+        for ref in schema.by_name(spec.field or ""):
+            rows = hits.get(ref.group_index)
+            if not rows:
+                continue
+            chunk.extend(self._column_values(engine, ref, rows))
+        if chunk:
+            partial.add_chunk(box.first_line_id, chunk)  # type: ignore[attr-defined]
+
+    def _aggregate_pairs(
+        self,
+        box: CapsuleBox,
+        engine: BlockEngine,
+        spec: AggregateSpec,
+        hits: GroupRows,
+        partial: AggregatePartial,
+    ) -> None:
+        """(key, value) extraction: both fields must share a group (the
+        same template) for their rows to join."""
+        schema = schema_of(box)
+        value_refs = {
+            ref.group_index: ref
+            for ref in schema.by_name(spec.value_field or "")
+        }
+        chunk: List[Tuple[str, str]] = []
+        for key_ref in schema.by_name(spec.field or ""):
+            value_ref = value_refs.get(key_ref.group_index)
+            if value_ref is None:
+                continue
+            rows = hits.get(key_ref.group_index)
+            if not rows:
+                continue
+            keys = self._column_values(engine, key_ref, rows)
+            values = self._column_values(engine, value_ref, rows)
+            chunk.extend(zip(keys, values))
+        if chunk:
+            partial.add_chunk(box.first_line_id, chunk)  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
     # box loading (shared by the pipeline, pinning and decompress_all)
@@ -563,7 +753,9 @@ class QueryExecutor:
             and getattr(self.config, "use_query_cache", False)
             else "off"
         )
-        if plan.mode in (OutputMode.LINES, OutputMode.ANALYZE):
+        if plan.aggregate is not None and plan.mode is not OutputMode.EXPLAIN:
+            tail = f"Aggregate({plan.aggregate.describe()})"
+        elif plan.mode in (OutputMode.LINES, OutputMode.ANALYZE):
             tail = "Reconstruct"
         elif plan.mode is OutputMode.COUNT:
             tail = "Reconstruct(elided)"

@@ -12,6 +12,24 @@ import enum
 from typing import AnyStr
 
 
+class AggregateKind(enum.Enum):
+    """What an aggregate plan folds the matched rows into (§2).
+
+    The first five are user-facing (``cli.py agg``); ``VALUES`` and
+    ``PAIRS`` are internal column/pair extraction kinds that let the
+    :class:`~repro.analytics.analyzer.Analyzer` route *every* data access
+    through the executor pipeline.
+    """
+
+    COUNT_BY = "count_by"  # GROUP BY field, COUNT(*)
+    TOP_K = "top_k"  # k most frequent field values
+    STATS = "stats"  # numeric summary of a field
+    HISTOGRAM = "histogram"  # time-bucketed hit counts (logical clock)
+    COUNT_BY_TEMPLATE = "count_by_template"  # GROUP BY static pattern
+    VALUES = "values"  # raw column stream (internal)
+    PAIRS = "pairs"  # (key, value) column join (internal)
+
+
 class MatchMode(enum.Enum):
     """How a fragment must occur within a value."""
 

@@ -26,8 +26,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Union
+from typing import List, Optional, Union
 
+from .aggregate import AggregateSpec
 from .language import QueryCommand, SearchString, Term, parse_query
 
 
@@ -38,6 +39,7 @@ class OutputMode(Enum):
     COUNT = "count"  # reconstruction elided; only located-row counts
     EXPLAIN = "explain"  # dry run; render per-operator decisions
     ANALYZE = "analyze"  # full pipeline + per-operator resource ledger
+    AGGREGATE = "aggregate"  # fold located rows into a partial aggregate
 
 
 def term_selectivity(term: Term) -> int:
@@ -94,6 +96,10 @@ class QueryPlan:
     command: QueryCommand
     mode: OutputMode = OutputMode.LINES
     disjuncts: List[PlannedDisjunct] = field(default_factory=list)
+    #: Set for aggregate plans: what the Aggregate operator folds rows
+    #: into (replacing Reconstruct).  ``None`` disjuncts + an aggregate
+    #: means match-all — every row of every group is aggregated.
+    aggregate: Optional[AggregateSpec] = None
 
     @property
     def raw(self) -> str:
@@ -122,8 +128,12 @@ class QueryPlan:
             + (", ignore_case" if self.ignore_case else "")
             + ")"
         ]
+        if self.aggregate is not None:
+            lines.append(f"  aggregate: {self.aggregate.describe()}")
         for i, disjunct in enumerate(self.disjuncts):
             lines.append(f"  disjunct {i}: {disjunct.describe()}")
+        if not self.disjuncts:
+            lines.append("  match: all rows (no WHERE filter)")
         return "\n".join(lines)
 
 
@@ -131,6 +141,7 @@ def build_plan(
     command: Union[str, QueryCommand],
     mode: OutputMode = OutputMode.LINES,
     ignore_case: bool = False,
+    aggregate: Optional[AggregateSpec] = None,
 ) -> QueryPlan:
     """Parse (if needed) and plan a query command.
 
@@ -145,4 +156,32 @@ def build_plan(
     disjuncts = [
         PlannedDisjunct.from_terms(disjunct) for disjunct in parsed.disjuncts
     ]
-    return QueryPlan(parsed, mode, disjuncts)
+    return QueryPlan(parsed, mode, disjuncts, aggregate)
+
+
+def match_all_command(ignore_case: bool = False) -> QueryCommand:
+    """The empty WHERE: a command with no disjuncts.
+
+    ``parse_query("")`` is (rightly) a syntax error for grep, but an
+    aggregate without a filter folds *every* row, so the planner builds
+    the no-op command directly.
+    """
+    return QueryCommand([], "", ignore_case)
+
+
+def build_aggregate_plan(
+    spec: AggregateSpec,
+    where: Optional[Union[str, QueryCommand]] = None,
+    mode: OutputMode = OutputMode.AGGREGATE,
+    ignore_case: bool = False,
+) -> QueryPlan:
+    """Plan one aggregate: optional WHERE filter + the aggregate spec.
+
+    The resulting plan is an ordinary value object — the thread-pool
+    scheduler and the cluster coordinator ship the same plan to every
+    block/node and merge the returned partial aggregates.
+    """
+    command: Union[str, QueryCommand] = (
+        where if where else match_all_command(ignore_case)
+    )
+    return build_plan(command, mode, ignore_case, aggregate=spec)

@@ -98,7 +98,15 @@ def touch_capsule(capsule, stats: QueryStats) -> None:
 
 #: Canonical operator order of the per-block pipeline (plus the plan
 #: stage); the EXPLAIN ANALYZE table and as_dict render in this order.
-OPERATORS = ("plan", "block_filter", "load_box", "locate", "match", "reconstruct")
+OPERATORS = (
+    "plan",
+    "block_filter",
+    "load_box",
+    "locate",
+    "match",
+    "aggregate",
+    "reconstruct",
+)
 
 
 @dataclass

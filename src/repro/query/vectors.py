@@ -22,10 +22,12 @@ same Capsule across queries.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
+from collections import Counter
 from typing import Callable, List, Optional, Sequence, Union
 
 from ..capsule import scan
+from ..obs import ledger as ledger_channel
 from ..capsule.assembler import (
     NominalEncodedVector,
     PlainEncodedVector,
@@ -279,6 +281,18 @@ class RealVectorReader:
         ]
         return encoded.pattern.render(subvalues)
 
+    def value_counts(self, rows: Optional[RowSet] = None) -> "Counter[str]":
+        """value → occurrences among *rows* (all rows when None).
+
+        Real vectors have no dictionary, so counting renders each row's
+        sub-variable parts — this is the documented slow path of the
+        Aggregate operator (its fast path is nominal index-cell
+        counting).
+        """
+        if rows is None or rows.is_full():
+            return Counter(self.values_list())
+        return Counter(self.value_at(row) for row in rows)
+
     def values_list(self) -> List[str]:
         """Every value of the vector, decoded in bulk.
 
@@ -512,6 +526,78 @@ class NominalVectorReader:
         return result
 
     # ------------------------------------------------------------------
+    def value_counts(self, rows: Optional[RowSet] = None) -> "Counter[str]":
+        """value → occurrences among *rows* (all rows when None), counted
+        on raw index cells — the §2 "dictionary is the group-by index"
+        fast path.
+
+        The index Capsule is tallied cell-by-cell on its raw payload (no
+        per-row value is ever decoded), then only the dictionary slots
+        that actually occur are resolved to their values — for a region
+        dictionary via direct Σ count·width jumps, so payload decoding is
+        proportional to the number of *distinct* values, not rows.
+        """
+        encoded = self.encoded
+        capsule = encoded.index_capsule
+        touch_capsule(capsule, self.stats)
+        width = encoded.index_width
+        buf = capsule.plain()
+        cell_counts: "Counter[bytes]" = Counter()
+        if capsule.layout == LAYOUT_FIXED and width > 0:
+            if rows is None or rows.is_full():
+                cell_counts.update(
+                    buf[i : i + width]
+                    for i in range(0, self.num_rows * width, width)
+                )
+            else:
+                cell_counts.update(
+                    buf[row * width : (row + 1) * width] for row in rows
+                )
+        else:
+            # Variable-layout index (w/o-fixed ablation): slice raw cells
+            # at the separator offsets, still without decoding.
+            offsets = capsule._variable_offsets()
+            n = capsule.count
+
+            def cell(row: int) -> bytes:
+                end = offsets[row + 1] - 1 if row + 1 < n else len(buf)
+                return buf[offsets[row] : end]
+
+            iter_rows: Sequence[int] = (
+                range(n) if rows is None or rows.is_full() else list(rows)
+            )
+            cell_counts.update(cell(row) for row in iter_rows)
+        counted = sum(cell_counts.values())
+        ledger_channel.charge_rows_scanned(counted)
+        out: "Counter[str]" = Counter()
+        cached_dict = get_value_cache().peek(encoded.dict_capsule)
+        for cell_bytes, n in cell_counts.items():
+            slot = int(cell_bytes)
+            value = (
+                cached_dict[slot]
+                if cached_dict is not None
+                else self._slot_value(slot)
+            )
+            out[value] += n
+        return out
+
+    def _slot_value(self, slot: int) -> str:
+        """Decode one dictionary slot without decoding the whole dict.
+
+        Region dictionaries jump straight to the slot's fixed-width cell
+        (§5.2); other layouts go through the value cache.
+        """
+        encoded = self.encoded
+        if encoded.dict_capsule.layout != LAYOUT_REGION:
+            touch_capsule(encoded.dict_capsule, self.stats)
+            return _cached_value_at(encoded.dict_capsule, slot)
+        pattern_idx = bisect_right(self._region_slots, slot) - 1
+        dp = encoded.dict_patterns[pattern_idx]
+        local = slot - self._region_slots[pattern_idx]
+        touch_capsule(encoded.dict_capsule, self.stats)
+        byte = encoded.region_start_byte(pattern_idx) + local * dp.width
+        return encoded.dict_capsule.region_value(byte, dp.width)
+
     def value_at(self, row: int) -> str:
         encoded = self.encoded
         touch_capsule(encoded.index_capsule, self.stats)
@@ -601,6 +687,16 @@ class PlainVectorReader:
     def values_list(self) -> List[str]:
         touch_capsule(self.encoded.capsule, self.stats)
         return _cached_values(self.encoded.capsule)
+
+    def value_counts(self, rows: Optional[RowSet] = None) -> "Counter[str]":
+        """value → occurrences among *rows* (all rows when None).
+
+        Plain vectors store the column verbatim, so counting decodes it
+        (once, via the value cache) — no index cells to exploit.
+        """
+        if rows is None or rows.is_full():
+            return Counter(self.values_list())
+        return Counter(self.value_at(row) for row in rows)
 
 
 def make_reader(encoded, settings: QuerySettings, stats: QueryStats):

@@ -1,0 +1,171 @@
+"""Property tests for the aggregation pushdown.
+
+The invariant: an aggregate executed by the Aggregate pipeline operator
+(index-cell counting, per-block partials, no reconstruction) must equal
+the naive oracle — reconstruct the matching lines, extract the field with
+a regex, and aggregate in plain Python.  And the result must not depend
+on who executes it: serial ≡ parallel thread pool ≡ cluster scatter/gather.
+"""
+
+import random
+import re
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import LogGrep, LogGrepConfig
+from repro.baselines.evalutil import grep_lines
+from repro.cluster import ClusterLogGrep
+from repro.query.aggregate import numeric_stats
+
+WHERE_FILTERS = [None, "ERROR", "INFO", "Project:1", "zz_nothing_zz"]
+
+FIELD_RE = {
+    "Project": re.compile(r"Project:(\S+)"),
+    "latency": re.compile(r"latency:(\S+)"),
+}
+
+
+def make_lines(seed: int, n: int):
+    """Structured lines whose fields a regex oracle can re-extract."""
+    rng = random.Random(seed)
+    lines = []
+    for i in range(n):
+        level = "ERROR" if rng.randrange(5) == 0 else "INFO"
+        project = rng.randrange(4)
+        # Occasionally an unparsable latency so stats see nulls.
+        latency = "NaNus" if rng.randrange(29) == 0 else f"{rng.randrange(9000)}us"
+        lines.append(
+            f"2024-01-01 00:00:{i % 60:02d} {level} svc "
+            f"Project:{project} latency:{latency} req done"
+        )
+    return lines
+
+
+def oracle_lines(lines, where):
+    return grep_lines(where, lines) if where else list(lines)
+
+
+def oracle_counts(lines, where, field):
+    pattern = FIELD_RE[field]
+    counts = Counter()
+    for line in oracle_lines(lines, where):
+        match = pattern.search(line)
+        if match:
+            counts[match.group(1)] += 1
+    return counts
+
+
+def assert_stats_equal(ours, reference):
+    assert ours.count == reference.count
+    assert ours.nulls == reference.nulls
+    for name in ("minimum", "maximum", "mean", "p50", "p95", "p99"):
+        a, b = getattr(ours, name), getattr(reference, name)
+        if a != a:  # NaN
+            assert b != b
+        else:
+            assert a == pytest.approx(b)
+
+
+class TestPushdownEqualsOracle:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=300),
+        st.sampled_from(WHERE_FILTERS),
+    )
+    def test_count_by_and_stats(self, seed, n, where):
+        lines = make_lines(seed, n)
+        lg = LogGrep(config=LogGrepConfig(block_bytes=2048))
+        lg.compress(lines)
+
+        assert lg.count_by("Project", where) == oracle_counts(
+            lines, where, "Project"
+        )
+
+        raw_values = [
+            FIELD_RE["latency"].search(line).group(1)
+            for line in oracle_lines(lines, where)
+            if FIELD_RE["latency"].search(line)
+        ]
+        assert_stats_equal(
+            lg.stats_of("latency", where), numeric_stats(raw_values)
+        )
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=300),
+        st.sampled_from(["ERROR", "Project:2"]),
+        st.integers(min_value=1, max_value=9),
+    )
+    def test_timeseries_buckets(self, seed, n, where, buckets):
+        lines = make_lines(seed, n)
+        lg = LogGrep(config=LogGrepConfig(block_bytes=2048))
+        lg.compress(lines)
+
+        timeline = lg.timeseries(where, buckets=buckets)
+        hits = {
+            i for i, line in enumerate(lines) if line in set(grep_lines(where, lines))
+        }
+        # Oracle: bucket the matching global line ids the same way.
+        width = max(1, -(-len(lines) // buckets))
+        expected = Counter(min(buckets - 1, i // width) for i in hits)
+        assert sum(c for _, _, c in timeline) == len(hits)
+        for idx, (low, high, count) in enumerate(timeline):
+            assert count == expected.get(idx, 0)
+            assert low == idx * width
+        # Buckets tile the id space without gaps.
+        for (_, a_hi, _), (b_lo, _, _) in zip(timeline, timeline[1:]):
+            assert b_lo == a_hi + 1
+
+
+class TestExecutionEquivalence:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=20, max_value=250),
+        st.sampled_from(WHERE_FILTERS),
+    )
+    def test_serial_parallel_cluster_agree(self, seed, n, where):
+        lines = make_lines(seed, n)
+        serial = LogGrep(config=LogGrepConfig(block_bytes=2048))
+        serial.compress(lines)
+        parallel = LogGrep(
+            config=LogGrepConfig(block_bytes=2048, query_parallelism=4)
+        )
+        parallel.compress(lines)
+
+        expected_counts = serial.count_by("Project", where)
+        expected_stats = serial.stats_of("latency", where)
+        expected_ts = serial.timeseries(where or "req", buckets=5)
+
+        assert parallel.count_by("Project", where) == expected_counts
+        assert_stats_equal(parallel.stats_of("latency", where), expected_stats)
+        assert parallel.timeseries(where or "req", buckets=5) == expected_ts
+
+        with ClusterLogGrep(
+            num_nodes=3,
+            replication=2,
+            config=LogGrepConfig(block_bytes=2048),
+        ) as cluster:
+            cluster.compress(lines)
+            assert cluster.count_by("Project", where) == expected_counts
+            assert_stats_equal(
+                cluster.stats_of("latency", where), expected_stats
+            )
+            assert cluster.timeseries(where or "req", buckets=5) == expected_ts

@@ -1,5 +1,7 @@
 """Tests for the structure-based aggregation layer (§2's second phase)."""
 
+import inspect
+import math
 import re
 from collections import Counter
 
@@ -135,12 +137,41 @@ class TestAggregateHelpers:
     def test_numeric_stats_empty(self):
         stats = numeric_stats(["abc", ""])
         assert stats.count == 0
+        assert stats.nulls == 2
+        assert math.isnan(stats.p50) and math.isnan(stats.mean)
+
+    def test_numeric_stats_no_values(self):
+        stats = numeric_stats([])
+        assert stats.count == 0 and stats.nulls == 0
+        assert math.isnan(stats.minimum) and math.isnan(stats.p99)
+
+    def test_numeric_stats_singleton(self):
+        # A one-value column: every percentile is that value.
+        stats = numeric_stats(["42us"])
+        assert stats.count == 1
+        assert stats.minimum == stats.maximum == 42.0
+        assert stats.p50 == stats.p95 == stats.p99 == 42.0
+
+    def test_numeric_stats_two_values_interpolates(self):
+        stats = numeric_stats(["0", "10"])
+        assert stats.p50 == 5.0
+        assert stats.p95 == pytest.approx(9.5)
+        assert stats.p99 == pytest.approx(9.9)
 
     def test_numeric_stats_percentiles(self):
+        # Linear interpolation between closest ranks (numpy's default):
+        # for 0..99 the midpoint is 49.5, p95 sits at position 94.05.
         stats = numeric_stats([str(i) for i in range(100)])
-        assert stats.p50 == 50
-        assert stats.p95 == 95
-        assert stats.p99 == 99
+        assert stats.p50 == 49.5
+        assert stats.p95 == pytest.approx(94.05)
+        assert stats.p99 == pytest.approx(98.01)
+
+    def test_numeric_stats_counts_nulls(self):
+        # Unparseable cells are reported, not silently dropped.
+        stats = numeric_stats(["1us", "oops", "3us", ""])
+        assert stats.count == 2
+        assert stats.nulls == 2
+        assert stats.mean == 2.0
 
     def test_top_k_helper(self):
         assert top_k(["a", "b", "a"], 1) == [("a", 2)]
@@ -194,6 +225,53 @@ class TestTimeline:
         lg, _ = archive
         timeline = Analyzer(lg).timeline("zz_nothing_zz", buckets=5)
         assert sum(c for _, _, c in timeline) == 0
+
+
+class TestPushdownExecution:
+    """The façade rides the executor pipeline, not private block loops."""
+
+    def test_no_private_api_in_analytics(self):
+        # Satellite: analytics/ must not load store blobs or CapsuleBoxes
+        # directly — everything routes through the query executor.
+        import repro.analytics.aggregate as agg_mod
+        import repro.analytics.analyzer as analyzer_mod
+        import repro.analytics.schema as schema_mod
+
+        for module in (analyzer_mod, agg_mod, schema_mod):
+            source = inspect.getsource(module)
+            assert "_load_box" not in source
+            assert "BlockEngine" not in source
+            assert "deserialize" not in source
+            assert "store.get" not in source
+
+    def test_stats_accumulate_through_facade(self, archive):
+        lg, _ = archive
+        analyzer = Analyzer(lg)
+        analyzer.count_by("Project", where="ERROR")
+        assert analyzer.stats.blocks_visited > 0
+        before = analyzer.stats.blocks_visited
+        analyzer.stats_of("latency")
+        assert analyzer.stats.blocks_visited > before
+
+    def test_parallel_merge_order_independent(self, archive):
+        """-j N partial merging must be commutative: any completion order
+        yields the serial result."""
+        _, lines = archive
+        serial = LogGrep(config=LogGrepConfig(block_bytes=1 << 15))
+        serial.compress(lines)
+        parallel = LogGrep(
+            config=LogGrepConfig(block_bytes=1 << 15, query_parallelism=4)
+        )
+        parallel.compress(lines)
+        for _ in range(3):  # thread completion order varies run to run
+            assert parallel.count_by("Project", where="ERROR") == serial.count_by(
+                "Project", where="ERROR"
+            )
+            assert parallel.top_k("RequestId", 5) == serial.top_k("RequestId", 5)
+            assert parallel.stats_of("latency") == serial.stats_of("latency")
+            assert parallel.timeseries("ERROR", buckets=9) == serial.timeseries(
+                "ERROR", buckets=9
+            )
 
 
 class TestNumericFilter:

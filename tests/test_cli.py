@@ -192,3 +192,91 @@ class TestAnalyze:
         main(["grep", "error", "-a", str(archive), "-c", "-i"])
         out = capsys.readouterr().out.strip()
         assert int(out) == sum(1 for l in lines if "error" in l.lower())
+
+
+@pytest.fixture
+def structured_archive(tmp_path):
+    lines = []
+    for i in range(800):
+        level = "ERROR" if i % 5 == 0 else "INFO"
+        lines.append(
+            f"2024-01-01 00:00:{i % 60:02d} {level} svc "
+            f"Project:{i % 3} latency:{i * 7}us req done"
+        )
+    path = tmp_path / "structured.log"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    archive = tmp_path / "agg_arch"
+    main(["compress", str(path), "-a", str(archive), "--block-bytes", "8192"])
+    return archive, lines
+
+
+class TestAgg:
+    def test_count_by(self, structured_archive, capsys):
+        archive, lines = structured_archive
+        capsys.readouterr()
+        rc = main(["agg", "count-by", "Project", "-a", str(archive), "-w", "ERROR"])
+        assert rc == 0
+        rows = capsys.readouterr().out.strip().splitlines()
+        total = sum(int(row.split()[0]) for row in rows)
+        assert total == sum(1 for l in lines if "ERROR" in l)
+
+    def test_top_k(self, structured_archive, capsys):
+        archive, _ = structured_archive
+        capsys.readouterr()
+        rc = main(["agg", "top-k", "Project", "-a", str(archive), "-k", "2"])
+        assert rc == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+    def test_stats(self, structured_archive, capsys):
+        archive, _ = structured_archive
+        capsys.readouterr()
+        rc = main(["agg", "stats", "latency", "-a", str(archive)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "count=800" in out and "nulls=0" in out
+
+    def test_timeseries(self, structured_archive, capsys):
+        archive, lines = structured_archive
+        capsys.readouterr()
+        rc = main(
+            ["agg", "timeseries", "-a", str(archive), "-w", "ERROR", "--buckets", "4"]
+        )
+        assert rc == 0
+        rows = capsys.readouterr().out.strip().splitlines()
+        assert len(rows) == 4
+        total = sum(int(row.rsplit(None, 1)[-1]) for row in rows)
+        assert total == sum(1 for l in lines if "ERROR" in l)
+
+    def test_count_templates(self, structured_archive, capsys):
+        archive, _ = structured_archive
+        capsys.readouterr()
+        rc = main(["agg", "count-templates", "-a", str(archive)])
+        assert rc == 0
+        assert "800" in capsys.readouterr().out
+
+    def test_analyze_flag_prints_ledger(self, structured_archive, capsys):
+        archive, _ = structured_archive
+        capsys.readouterr()
+        rc = main(
+            ["agg", "count-by", "Project", "-a", str(archive), "--analyze", "-j", "2"]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "resource ledger" in err
+        assert "aggregate" in err
+
+    def test_json_output(self, structured_archive, capsys):
+        import json as json_mod
+
+        archive, _ = structured_archive
+        capsys.readouterr()
+        rc = main(["agg", "count-by", "Project", "-a", str(archive), "--json"])
+        assert rc == 0
+        doc = json_mod.loads(capsys.readouterr().out)
+        assert sum(doc.values()) == 800
+
+    def test_missing_field_is_an_error(self, structured_archive, capsys):
+        archive, _ = structured_archive
+        capsys.readouterr()
+        assert main(["agg", "count-by", "-a", str(archive)]) == 2
+        assert "requires a FIELD" in capsys.readouterr().err

@@ -10,6 +10,7 @@ from repro.cluster import (
     replica_nodes,
 )
 from repro.core.config import LogGrepConfig
+from repro.core.loggrep import LogGrep
 from tests.conftest import make_mixed_lines
 
 CONFIG = LogGrepConfig(block_bytes=8 * 1024)
@@ -153,6 +154,65 @@ class TestFailures:
             c.compress(corpus)
             assert c.grep("ERROR").lines == grep_lines("ERROR", corpus)
             assert not c.node("node-3").block_names()
+
+
+class TestClusterAggregation:
+    """Distributed aggregates: one shipped plan, merged partials."""
+
+    @pytest.fixture(scope="class")
+    def structured(self):
+        lines = []
+        for i in range(1500):
+            level = "ERROR" if i % 5 == 0 else "INFO"
+            lines.append(
+                f"2024-01-01 00:00:{i % 60:02d} {level} svc "
+                f"Project:{i % 3} latency:{i * 7}us req done"
+            )
+        single = LogGrep(config=CONFIG)
+        single.compress(lines)
+        cluster = ClusterLogGrep(num_nodes=4, replication=2, config=CONFIG)
+        cluster.compress(lines)
+        yield single, cluster
+        cluster.close()
+
+    def test_count_by_matches_single_node(self, structured):
+        single, cluster = structured
+        assert cluster.count_by("Project") == single.count_by("Project")
+        assert cluster.count_by("Project", where="ERROR") == single.count_by(
+            "Project", where="ERROR"
+        )
+
+    def test_top_k_matches_single_node(self, structured):
+        single, cluster = structured
+        assert cluster.top_k("Project", k=2) == single.top_k("Project", k=2)
+
+    def test_stats_match_single_node(self, structured):
+        single, cluster = structured
+        assert cluster.stats_of("latency") == single.stats_of("latency")
+
+    def test_timeseries_matches_single_node(self, structured):
+        single, cluster = structured
+        assert cluster.timeseries("ERROR", buckets=6) == single.timeseries(
+            "ERROR", buckets=6
+        )
+
+    def test_aggregate_survives_node_failure(self, structured):
+        single, cluster = structured
+        expected = single.count_by("Project", where="ERROR")
+        cluster.node("node-1").fail()
+        try:
+            assert cluster.count_by("Project", where="ERROR") == expected
+        finally:
+            cluster.node("node-1").recover()
+
+    def test_matched_count_is_merged(self, structured):
+        from repro.query.aggregate import AggregateSpec
+        from repro.query.modes import AggregateKind
+
+        single, cluster = structured
+        spec = AggregateSpec(AggregateKind.COUNT_BY, "Project")
+        result = cluster.aggregate(spec, where="ERROR")
+        assert result.matched == single.count("ERROR")
 
 
 class TestValidation:
