@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""PR-7 benchmark regression ledger.
+"""PR-8 benchmark regression ledger.
 
-Runs three micro-benches and writes a ``BENCH_PR7.json`` regression ledger:
+Runs the micro-benches and writes a ``BENCH_PR8.json`` regression ledger:
 
 * **Fig-7 grep latency** — LogGrep vs gzip+grep on the Table-1 query of a
   few representative datasets.  The gated metric is the dimensionless
@@ -16,6 +16,13 @@ Runs three micro-benches and writes a ``BENCH_PR7.json`` regression ledger:
   baseline's bytes and take ≤ 50 % of its wall time, and the per-query
   ledger's ``read_bytes`` must reconcile exactly with the store's
   ``loggrep_store_range_read_bytes_total`` delta.
+
+* **Cluster scatter/gather** (PR-8) — three hard-gated bars over a
+  simulated object-store cluster: the Table-1 selective query must speed
+  up ≥ 2x going from 1 to 4 shards; a count-by's partial gather must ship
+  ≤ 30 % of the bytes line-shipping would; and with one replica straggling
+  +200 ms per RPC, hedged-read p99 must stay within 1.5x of the
+  no-straggler p99 (the un-hedged tail is recorded alongside).
 
 It also asserts the PR-6 acceptance bar that per-query accounting stays
 off the hot path: grep latency with the ledger enabled (slow-query
@@ -225,6 +232,132 @@ def bench_aggregation(lines_per_spec, rounds):
     }
 
 
+def bench_cluster(lines_per_spec, rounds):
+    """Scatter/gather over a simulated object store: shard scaling,
+    partial-gather bytes and hedged straggler mitigation."""
+    from repro.blockstore.remote import FaultProfile
+    from repro.cluster import ClusterLogGrep, ScatterConfig
+
+    spec = spec_by_name("Log A")
+    lines = spec.generate(lines_per_spec)
+    # Small blocks so the corpus shards across every node; 2 ms per store
+    # request models object-store RTT (sleeps release the GIL, so shard
+    # parallelism is genuine wall-clock parallelism).
+    config = LogGrepConfig(block_bytes=8 * 1024)
+    rtt = FaultProfile(latency_s=0.002)
+
+    def timed_counts(cluster, n):
+        samples = []
+        hits = 0
+        for _ in range(n):
+            start = time.perf_counter()
+            hits = cluster.count(spec.query)
+            samples.append(time.perf_counter() - start)
+        return samples, hits
+
+    def p99(samples):
+        ordered = sorted(samples)
+        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+    # --- shard-count scaling on the Table-1 selective query -----------
+    scaling = {}
+    for nodes in (1, 2, 4):
+        scatter = ScatterConfig(fanout_concurrency=8, hedge=False)
+        with ClusterLogGrep(
+            nodes, replication=1, config=config,
+            scatter=scatter, remote_profile=rtt,
+        ) as cluster:
+            cluster.compress(lines)
+            samples, hits = timed_counts(cluster, rounds)
+            scaling[str(nodes)] = {
+                "ms": round(min(samples) * 1000, 3),
+                "hits": hits,
+                "blocks": len(cluster._placement),
+            }
+    speedup = scaling["1"]["ms"] / scaling["4"]["ms"]
+
+    # --- partial gather vs line shipping (count-by on the same where) --
+    with ClusterLogGrep(4, replication=2, config=config) as cluster:
+        cluster.compress(lines)
+        where = "request"
+        grep_hits = cluster.grep(where).count
+        line_bytes = sum(
+            s.wire_bytes
+            for s in cluster.last_report.shards
+            if s.phase == "lines"
+        )
+        counts = cluster.count_by("state", where=where)
+        partial_bytes = cluster.last_report.wire_bytes
+    single = _build_loggrep(lines)
+    counts_equal = counts == single.count_by("state", where=where)
+    bytes_ratio = partial_bytes / max(1, line_bytes)
+
+    # --- straggler mitigation: hedged vs un-hedged tail ----------------
+    registry = get_registry()
+    wins_counter = registry.counter("loggrep_cluster_hedge_wins_total")
+    straggle_s = 0.200
+    # Fan out only as wide as the cluster: wider floods the single-slot
+    # nodes with queueing that the latency tracker would mistake for slow
+    # replicas.  The hedge delay is the adaptive p95 of observed shard
+    # latencies — the headline tail-at-scale mechanism under test.
+    hedge_scatter = ScatterConfig(
+        fanout_concurrency=4,
+        hedge=True,
+        shard_deadline_s=None,
+    )
+    tail_rounds = max(rounds * 3, 15)
+    with ClusterLogGrep(
+        4, replication=2, config=config,
+        scatter=hedge_scatter, remote_profile=rtt,
+    ) as cluster:
+        cluster.compress(lines)
+        timed_counts(cluster, 2)  # warm both replicas' path
+        base_samples, _ = timed_counts(cluster, tail_rounds)
+        straggler = cluster._placement[sorted(cluster._placement)[0]][0]
+        cluster.set_straggler(straggler, straggle_s)
+        wins_before = wins_counter.value()
+        hedged_samples, hedged_hits = timed_counts(cluster, tail_rounds)
+        hedge_wins = int(wins_counter.value() - wins_before)
+    no_hedge_scatter = ScatterConfig(
+        fanout_concurrency=4, hedge=False, shard_deadline_s=None
+    )
+    with ClusterLogGrep(
+        4, replication=2, config=config,
+        scatter=no_hedge_scatter, remote_profile=rtt,
+    ) as cluster:
+        cluster.compress(lines)
+        straggler = cluster._placement[sorted(cluster._placement)[0]][0]
+        cluster.set_straggler(straggler, straggle_s)
+        unhedged_samples, _ = timed_counts(cluster, max(rounds, 5))
+
+    no_straggler_p99 = p99(base_samples)
+    hedged_p99 = p99(hedged_samples)
+    unhedged_p99 = p99(unhedged_samples)
+    return {
+        "dataset": spec.name,
+        "query": spec.query,
+        "scaling": scaling,
+        "speedup_1_to_4": round(speedup, 3),
+        "counts_equal": counts_equal,
+        "grep_hits": grep_hits,
+        "line_bytes": line_bytes,
+        "partial_bytes": partial_bytes,
+        "partial_over_line_bytes": round(bytes_ratio, 3),
+        "line_over_partial_bytes": round(
+            line_bytes / max(1, partial_bytes), 3
+        ),
+        "straggle_ms": straggle_s * 1000,
+        "no_straggler_p99_ms": round(no_straggler_p99 * 1000, 3),
+        "hedged_p99_ms": round(hedged_p99 * 1000, 3),
+        "unhedged_p99_ms": round(unhedged_p99 * 1000, 3),
+        "hedged_over_clean_p99": round(
+            hedged_p99 / max(1e-9, no_straggler_p99), 3
+        ),
+        "hedge_wins": hedge_wins,
+        "hedged_hits": hedged_hits,
+    }
+
+
 def gated_metrics(results):
     """The dimensionless higher-is-better ratios compared vs baseline."""
     out = {}
@@ -235,6 +368,10 @@ def gated_metrics(results):
     ]
     out["aggregation/baseline_over_agg_bytes"] = results["aggregation"][
         "baseline_over_agg_bytes"
+    ]
+    out["cluster/speedup_1_to_4"] = results["cluster"]["speedup_1_to_4"]
+    out["cluster/line_over_partial_bytes"] = results["cluster"][
+        "line_over_partial_bytes"
     ]
     return out
 
@@ -276,8 +413,8 @@ def main(argv=None):
         help="max ledger-on/ledger-off latency ratio (default: 1.03)",
     )
     parser.add_argument(
-        "--out", default=os.path.join(REPO, "BENCH_PR7.json"),
-        help="result ledger path (default: BENCH_PR7.json at the repo root)",
+        "--out", default=os.path.join(REPO, "BENCH_PR8.json"),
+        help="result ledger path (default: BENCH_PR8.json at the repo root)",
     )
     parser.add_argument(
         "--agg-bytes-bar", type=float, default=0.25,
@@ -286,6 +423,19 @@ def main(argv=None):
     parser.add_argument(
         "--agg-time-bar", type=float, default=0.50,
         help="max pushdown/baseline wall-time ratio for count-by (default: 0.50)",
+    )
+    parser.add_argument(
+        "--cluster-speedup-bar", type=float, default=2.0,
+        help="min 1-to-4-shard speedup on the selective query (default: 2.0)",
+    )
+    parser.add_argument(
+        "--cluster-bytes-bar", type=float, default=0.30,
+        help="max partial-gather/line-shipping bytes ratio (default: 0.30)",
+    )
+    parser.add_argument(
+        "--cluster-hedge-bar", type=float, default=1.5,
+        help="max hedged-p99/no-straggler-p99 ratio with one +200ms "
+        "replica (default: 1.5)",
     )
     parser.add_argument(
         "--baseline", default=os.path.join(HERE, "baseline.json"),
@@ -298,12 +448,13 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     results = {
-        "bench": "PR7 aggregation pushdown",
+        "bench": "PR8 shard-parallel scatter/gather",
         "lines_per_spec": args.lines,
         "rounds": args.rounds,
         "fig7": bench_fig7(args.lines, args.rounds),
         "lazy_io": bench_lazy_io(args.lines),
         "aggregation": bench_aggregation(args.lines, args.rounds),
+        "cluster": bench_cluster(args.lines, args.rounds),
         # The overhead bar is the tightest gate (3%), so it gets triple
         # rounds: min-of-rounds on both sides needs the extra samples to
         # stay under the noise floor of shared CI runners.
@@ -338,6 +489,27 @@ def main(argv=None):
         failures.append(
             f"aggregation: pushdown took {agg['time_ratio']:.1%} of baseline "
             f"wall time (bar {args.agg_time_bar:.0%})"
+        )
+
+    cluster = results["cluster"]
+    if not cluster["counts_equal"]:
+        failures.append("cluster: gathered count-by diverges from single-node")
+    if cluster["speedup_1_to_4"] < args.cluster_speedup_bar:
+        failures.append(
+            f"cluster: 1->4 shard speedup {cluster['speedup_1_to_4']:.2f}x "
+            f"is under the {args.cluster_speedup_bar:.1f}x bar"
+        )
+    if cluster["partial_over_line_bytes"] > args.cluster_bytes_bar:
+        failures.append(
+            f"cluster: partial gather shipped "
+            f"{cluster['partial_over_line_bytes']:.1%} of line-shipping "
+            f"bytes (bar {args.cluster_bytes_bar:.0%})"
+        )
+    if cluster["hedged_over_clean_p99"] > args.cluster_hedge_bar:
+        failures.append(
+            f"cluster: hedged p99 is {cluster['hedged_over_clean_p99']:.2f}x "
+            f"the no-straggler p99 (bar {args.cluster_hedge_bar:.1f}x) — "
+            f"hedging is not hiding the +{cluster['straggle_ms']:.0f}ms replica"
         )
 
     if args.update_baseline:

@@ -3,6 +3,7 @@
 from .blobsource import BlobSource, BytesBlobSource, StoreBlobSource, coalesce_extents
 from .block import DEFAULT_BLOCK_BYTES, LogBlock, block_from_text, split_lines
 from .index import INDEX_AUX_NAME, ArchiveIndex, BlockSummary, VectorSummary
+from .remote import FaultProfile, RemoteStore, RemoteStoreError
 from .store import ArchiveStore, MemoryStore
 
 __all__ = [
@@ -12,6 +13,9 @@ __all__ = [
     "DEFAULT_BLOCK_BYTES",
     "ArchiveStore",
     "MemoryStore",
+    "RemoteStore",
+    "RemoteStoreError",
+    "FaultProfile",
     "BlobSource",
     "BytesBlobSource",
     "StoreBlobSource",

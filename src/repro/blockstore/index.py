@@ -19,7 +19,11 @@ Per block the index records:
   §5.1 stamp check hoisted to block granularity,
 * per-vector stamp summaries (group, mask ∪ over the vector's capsules,
   max value length, row count) and the block's line count, for
-  diagnostics and future vector-level planning.
+  diagnostics and future vector-level planning,
+* the block's **wall-clock range** (min/max leading timestamp of its raw
+  lines, v2 sidecars): blocks are written in arrival order, so a
+  ``from_time``/``to_time`` query window prunes whole blocks before any
+  Bloom or stamp check — zero store reads for out-of-window blocks.
 
 The sidecar is *derived* data: it lives outside the block namespace (an
 auxiliary blob, see :meth:`ArchiveStore.put_aux`), does not count toward
@@ -46,7 +50,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a hard cycle)
 INDEX_AUX_NAME = "index.lgix"
 
 MAGIC = b"LGIX"
-VERSION = 1
+#: v1: bloom + charset mask + vector stamps; v2 adds the per-block
+#: min/max wall-clock timestamp range.  v1 sidecars still load (their
+#: time range is simply unknown, so time pruning skips those blocks).
+VERSION = 2
+_KNOWN_VERSIONS = (1, 2)
+
+#: Timestamps travel as non-negative varint milliseconds; a sentinel u8
+#: flag marks blocks with no parseable timestamps.
+_TS_SCALE = 1000.0
 
 
 @dataclass(frozen=True)
@@ -71,9 +83,32 @@ class BlockSummary:
     type_mask: int
     bloom: Optional[BloomFilter] = None
     vectors: List[VectorSummary] = field(default_factory=list)
+    #: Wall-clock range of the block's raw lines (epoch seconds); None
+    #: when no line had a parseable timestamp (the block is then never
+    #: time-pruned).
+    min_ts: Optional[float] = None
+    max_ts: Optional[float] = None
+
+    def in_time_range(
+        self, from_time: Optional[float], to_time: Optional[float]
+    ) -> bool:
+        """Could any line of this block fall inside [from_time, to_time]?
+
+        Unknown ranges conservatively overlap everything — pruning may
+        only ever skip blocks *proven* disjoint from the window.
+        """
+        if self.min_ts is None or self.max_ts is None:
+            return True
+        if from_time is not None and self.max_ts < from_time:
+            return False
+        if to_time is not None and self.min_ts > to_time:
+            return False
+        return True
 
     @classmethod
-    def from_box(cls, box: "CapsuleBox") -> "BlockSummary":
+    def from_box(
+        cls, box: "CapsuleBox", lines: Optional[List[str]] = None
+    ) -> "BlockSummary":
         from ..capsule.assembler import NominalEncodedVector, RealEncodedVector
         from ..capsule.box import _capsules_of
         from ..runtime.pattern import Const
@@ -112,12 +147,18 @@ class BlockSummary:
                 vectors.append(
                     VectorSummary(group_idx, vmask, vmax, vector.num_rows)
                 )
+        min_ts: Optional[float] = None
+        max_ts: Optional[float] = None
+        if lines is not None:
+            from ..common.timeparse import time_range_of
+
+            min_ts, max_ts = time_range_of(lines)
         return cls(
             box.block_id, box.first_line_id, box.num_lines, mask,
-            box.bloom, vectors,
+            box.bloom, vectors, min_ts, max_ts,
         )
 
-    def write(self, writer: BinaryWriter) -> None:
+    def write(self, writer: BinaryWriter, version: int = VERSION) -> None:
         writer.write_varint(self.block_id)
         writer.write_varint(self.first_line_id)
         writer.write_varint(self.num_lines)
@@ -133,9 +174,22 @@ class BlockSummary:
             writer.write_u8(vector.type_mask)
             writer.write_varint(vector.max_len)
             writer.write_varint(vector.rows)
+        if version >= 2:
+            # Pre-epoch timestamps cannot ride a varint; treat them as
+            # unknown (they only cost a missed prune, never correctness).
+            if (
+                self.min_ts is not None
+                and self.max_ts is not None
+                and self.min_ts >= 0.0
+            ):
+                writer.write_u8(1)
+                writer.write_varint(int(self.min_ts * _TS_SCALE))
+                writer.write_varint(int(self.max_ts * _TS_SCALE))
+            else:
+                writer.write_u8(0)
 
     @classmethod
-    def read(cls, reader: BinaryReader) -> "BlockSummary":
+    def read(cls, reader: BinaryReader, version: int = VERSION) -> "BlockSummary":
         block_id = reader.read_varint()
         first_line_id = reader.read_varint()
         num_lines = reader.read_varint()
@@ -150,7 +204,15 @@ class BlockSummary:
             )
             for _ in range(reader.read_varint())
         ]
-        return cls(block_id, first_line_id, num_lines, type_mask, bloom, vectors)
+        min_ts: Optional[float] = None
+        max_ts: Optional[float] = None
+        if version >= 2 and reader.read_u8():
+            min_ts = reader.read_varint() / _TS_SCALE
+            max_ts = reader.read_varint() / _TS_SCALE
+        return cls(
+            block_id, first_line_id, num_lines, type_mask, bloom, vectors,
+            min_ts, max_ts,
+        )
 
 
 class ArchiveIndex:
@@ -174,25 +236,26 @@ class ArchiveIndex:
     def __contains__(self, name: str) -> bool:
         return name in self.blocks
 
-    def serialize(self) -> bytes:
+    def serialize(self, version: int = VERSION) -> bytes:
         writer = BinaryWriter()
         writer.write_varint(len(self.blocks))
         for name in sorted(self.blocks):
             writer.write_str(name)
-            self.blocks[name].write(writer)
-        return MAGIC + bytes([VERSION]) + writer.getvalue()
+            self.blocks[name].write(writer, version)
+        return MAGIC + bytes([version]) + writer.getvalue()
 
     @classmethod
     def deserialize(cls, data: bytes) -> "ArchiveIndex":
         if data[:4] != MAGIC:
             raise FormatError("not an archive index: bad magic")
-        if len(data) < 5 or data[4] != VERSION:
+        if len(data) < 5 or data[4] not in _KNOWN_VERSIONS:
             raise FormatError("unsupported archive index version")
+        version = data[4]
         reader = BinaryReader(data[5:])
         index = cls()
         for _ in range(reader.read_varint()):
             name = reader.read_str()
-            index.add(name, BlockSummary.read(reader))
+            index.add(name, BlockSummary.read(reader, version))
         return index
 
     @classmethod

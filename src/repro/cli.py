@@ -96,6 +96,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--mmap", action="store_true",
         help="serve ranged reads from memory-mapped blobs",
     )
+    grep.add_argument(
+        "--from", dest="from_time", metavar="TIME",
+        help='start of the time window ("2024-01-01 00:00:00" or epoch '
+        "seconds); blocks wholly before it are pruned without any read",
+    )
+    grep.add_argument(
+        "--to", dest="to_time", metavar="TIME",
+        help="end of the time window (same formats as --from)",
+    )
 
     stats = sub.add_parser("stats", help="show archive statistics")
     stats.add_argument("-a", "--archive", required=True, help="archive directory")
@@ -174,8 +183,74 @@ def _build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser("verify", help="deep integrity check of an archive")
     verify.add_argument("-a", "--archive", required=True, help="archive directory")
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="one-shot distributed run: ingest a log file into an in-memory "
+        "cluster and scatter a query (hedged reads, per-shard ANALYZE)",
+    )
+    cluster.add_argument("input", help="raw log file (one entry per line)")
+    cluster.add_argument("query", help='e.g. "ERROR AND dst:11.8.*"')
+    cluster.add_argument(
+        "-n", "--nodes", type=int, default=4, help="worker nodes (default 4)"
+    )
+    cluster.add_argument(
+        "-r", "--replication", type=int, default=2,
+        help="replicas per block (default 2)",
+    )
+    cluster.add_argument(
+        "--block-bytes", type=int, default=1024 * 1024,
+        help="log block size in bytes (default: 1 MiB — small blocks shard "
+        "better in a demo cluster)",
+    )
+    cluster.add_argument("-c", "--count", action="store_true", help="print only the hit count")
+    cluster.add_argument("-i", "--ignore-case", action="store_true")
+    cluster.add_argument("--from", dest="from_time", metavar="TIME",
+                         help="start of the time window (see grep --from)")
+    cluster.add_argument("--to", dest="to_time", metavar="TIME",
+                         help="end of the time window")
+    cluster.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="reconstruct at most N matches (bounds the final fetch)",
+    )
+    cluster.add_argument(
+        "--analyze", action="store_true",
+        help="print the per-shard delivery table (attempts, retries, "
+        "hedges, gather bytes) to stderr",
+    )
+    cluster.add_argument(
+        "--store-latency-ms", type=float, default=0.0,
+        help="inject this per-request latency into every node's store "
+        "(simulated object-store RTT)",
+    )
+    cluster.add_argument(
+        "--store-jitter-ms", type=float, default=0.0,
+        help="add up to this much random extra latency per store request",
+    )
+    cluster.add_argument(
+        "--straggler-ms", type=float, default=0.0,
+        help="make one node this much slower per RPC (hedged reads should "
+        "route around it)",
+    )
+    cluster.add_argument(
+        "--no-hedge", action="store_true",
+        help="disable hedged replica reads (observe the straggler's tail)",
+    )
+
     sub.add_parser("report", help="run the full benchmark suite and write EXPERIMENTS.md")
     return parser
+
+
+def _parse_window(args) -> tuple:
+    """Resolve --from/--to into epoch floats (None when absent)."""
+    from .common.timeparse import parse_time_arg
+
+    window = []
+    for text in (getattr(args, "from_time", None), getattr(args, "to_time", None)):
+        if text is None:
+            window.append(None)
+        else:
+            window.append(parse_time_arg(text))
+    return tuple(window)
 
 
 def _open(archive: str, **config_overrides) -> LogGrep:
@@ -221,16 +296,34 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         lg = _open(args.archive, **overrides)
         tracing_wanted = args.trace or args.trace_out is not None
+        from_time, to_time = _parse_window(args)
+        if args.analyze and (from_time is not None or to_time is not None):
+            print(
+                "loggrep: note: --from/--to are ignored under --analyze",
+                file=sys.stderr,
+            )
         try:
             if args.count and not args.stats and not tracing_wanted and not args.analyze:
                 # Counting skips reconstruction entirely (grep -c fast path).
-                print(lg.count(args.query, ignore_case=args.ignore_case))
+                print(
+                    lg.count(
+                        args.query,
+                        ignore_case=args.ignore_case,
+                        from_time=from_time,
+                        to_time=to_time,
+                    )
+                )
                 return 0
 
             def run_query():
                 if args.analyze:
                     return lg.explain_analyze(args.query, ignore_case=args.ignore_case)
-                return lg.grep(args.query, ignore_case=args.ignore_case)
+                return lg.grep(
+                    args.query,
+                    ignore_case=args.ignore_case,
+                    from_time=from_time,
+                    to_time=to_time,
+                )
 
             if tracing_wanted:
                 from .obs import render_span_tree, tracing
@@ -458,6 +551,66 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"{count:8d}  {value}")
         if args.analyze and report:
             print(report, file=sys.stderr)
+        return 0
+
+    if args.command == "cluster":
+        from .blockstore.remote import FaultProfile
+        from .cluster import ClusterLogGrep, ScatterConfig
+
+        with open(args.input, "r", encoding="utf-8", errors="replace") as fh:
+            lines = fh.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        profile = None
+        if args.store_latency_ms > 0 or args.store_jitter_ms > 0:
+            profile = FaultProfile(
+                latency_s=args.store_latency_ms / 1000.0,
+                jitter_s=args.store_jitter_ms / 1000.0,
+            )
+        scatter = ScatterConfig(
+            fanout_concurrency=max(2, args.nodes),
+            hedge=not args.no_hedge,
+        )
+        from_time, to_time = _parse_window(args)
+        with ClusterLogGrep(
+            args.nodes,
+            args.replication,
+            config=LogGrepConfig(block_bytes=args.block_bytes),
+            scatter=scatter,
+            remote_profile=profile,
+        ) as cluster:
+            cluster.compress(lines)
+            if args.straggler_ms > 0:
+                victim = sorted(cluster.nodes)[-1]
+                cluster.set_straggler(victim, args.straggler_ms / 1000.0)
+                print(
+                    f"# straggler: {victim} +{args.straggler_ms:.0f} ms/RPC",
+                    file=sys.stderr,
+                )
+            if args.count:
+                print(
+                    cluster.count(
+                        args.query,
+                        ignore_case=args.ignore_case,
+                        from_time=from_time,
+                        to_time=to_time,
+                    )
+                )
+                if args.analyze and cluster.last_report is not None:
+                    print(cluster.last_report.render(), file=sys.stderr)
+                return 0
+            result = cluster.grep(
+                args.query,
+                ignore_case=args.ignore_case,
+                from_time=from_time,
+                to_time=to_time,
+                limit=args.limit,
+                analyze=args.analyze,
+            )
+            for line in result.lines:
+                print(line)
+            if args.analyze:
+                print(result.report, file=sys.stderr)
         return 0
 
     if args.command == "report":

@@ -4,20 +4,28 @@
 :class:`~repro.core.loggrep.LogGrep` (the paper's §8 future work):
 
 * **ingest** — raw lines are split into blocks; each block's *primary*
-  node (rendezvous hashing) compresses it locally and the coordinator fans
-  the archive out to the remaining replicas.  Blocks compress in parallel
-  across nodes (LZMA releases the GIL, so a thread pool gives real
-  speedup).
-* **query** — the command is executed per block on one alive replica
-  (primary preferred), in parallel; the coordinator merges the per-block
-  entries by global line id, restoring exactly the single-node result.
-* **failures** — a dead node is skipped in favor of the next replica; a
-  query only fails if *every* replica of some block is down.  Recovered
-  nodes keep their data (disks survive crashes).
+  node (rendezvous hashing) compresses it locally and the coordinator
+  fans the archive bytes *and prune summary* out to the remaining
+  replicas.  Blocks compress in parallel across nodes.
+* **query** — one pre-built plan is scattered through the
+  :class:`~repro.cluster.scatter.ScatterGather` engine (bounded fan-out,
+  per-shard deadlines, retry-with-backoff across replicas, hedged reads
+  after a latency percentile).  Gathers ship **partials**, never raw
+  lines: ``count`` ships counts, aggregates ship commutative
+  ``AggregatePartial``s, and ``grep`` ships per-group row-set bitmaps
+  with reconstruction deferred to a final bounded fetch of exactly the
+  kept rows — so gather bytes scale with matches, not corpus.
+* **membership** — rendezvous placement is recomputed on node
+  join/leave; :meth:`rebalance` moves only the replicas whose best nodes
+  changed, and :meth:`repair` re-replicates after a crash.
+* **failures** — a dead replica is skipped; a slow one is hedged or
+  timed out; a query only fails once some block exhausts its replica
+  attempt budget.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 import time
 from collections import Counter
@@ -26,17 +34,29 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..blockstore.block import split_lines
+from ..blockstore.index import BlockSummary
+from ..blockstore.remote import FaultProfile, RemoteStore
+from ..blockstore.store import ArchiveStore, MemoryStore
 from ..common.errors import ReproError
 from ..core.config import LogGrepConfig
 from ..core.loggrep import AggregateResult, GrepResult, LogGrep
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from ..query.aggregate import AggregateSpec, Bucket, NumericStats, make_partial
+from ..query.executor import Entry
 from ..query.modes import AggregateKind
-from ..query.plan import OutputMode, build_aggregate_plan, build_plan
+from ..query.plan import OutputMode, QueryPlan, build_aggregate_plan, build_plan
 from ..query.stats import QueryStats
-from .node import NodeDownError, WorkerNode
+from .node import WorkerNode
 from .placement import replica_nodes
+from .scatter import (
+    LatencyTracker,
+    ScatterConfig,
+    ScatterGather,
+    ShardError,
+    ShardOutcome,
+    ShardTask,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -47,6 +67,14 @@ _CLUSTER_AGG_QUERIES = get_registry().counter(
 _CLUSTER_AGG_PARTIALS = get_registry().counter(
     "loggrep_agg_partials_merged_total",
     "Per-block aggregate partials folded into a merged result",
+)
+_CLUSTER_QUERIES = get_registry().counter(
+    "loggrep_cluster_queries_total",
+    "Queries scattered by the coordinator, by mode",
+)
+_CLUSTER_REBALANCE_MOVES = get_registry().counter(
+    "loggrep_cluster_rebalance_moves_total",
+    "Replica copies created or dropped by rebalancing",
 )
 
 
@@ -66,6 +94,102 @@ class ClusterStats:
     bytes_per_node: Dict[str, int] = field(default_factory=dict)
 
 
+@dataclass
+class ShardReport:
+    """Delivery accounting of one shard of one query phase."""
+
+    block: str
+    phase: str  # "rows" | "lines" | "partial" | "count"
+    node: str
+    attempts: int
+    retries: int
+    timeouts: int
+    hedged: bool
+    hedge_won: bool
+    elapsed_ms: float
+    wire_bytes: int
+
+
+@dataclass
+class ClusterQueryReport:
+    """Per-shard roll-up of one distributed query (the cluster ANALYZE)."""
+
+    command: str
+    mode: str
+    shards: List[ShardReport] = field(default_factory=list)
+    elapsed_ms: float = 0.0
+
+    @property
+    def wire_bytes(self) -> int:
+        return sum(shard.wire_bytes for shard in self.shards)
+
+    @property
+    def hedges(self) -> int:
+        return sum(1 for shard in self.shards if shard.hedged)
+
+    @property
+    def retries(self) -> int:
+        return sum(shard.retries for shard in self.shards)
+
+    def add(self, phase: str, outcomes: Sequence[ShardOutcome]) -> None:
+        for outcome in outcomes:
+            self.shards.append(
+                ShardReport(
+                    block=outcome.name,
+                    phase=phase,
+                    node=outcome.node_id,
+                    attempts=outcome.attempts,
+                    retries=outcome.retries,
+                    timeouts=outcome.timeouts,
+                    hedged=outcome.hedged,
+                    hedge_won=outcome.hedge_won,
+                    elapsed_ms=outcome.elapsed * 1000.0,
+                    wire_bytes=outcome.wire_bytes,
+                )
+            )
+
+    def render(self) -> str:
+        """The per-shard table plus gather totals, ANALYZE-style."""
+        header = (
+            f"cluster query {self.command!r} (mode={self.mode}): "
+            f"{len(self.shards)} shard(s), {self.wire_bytes} gather byte(s), "
+            f"{self.hedges} hedged, {self.retries} retrie(s), "
+            f"{self.elapsed_ms:.1f} ms"
+        )
+        columns = (
+            "block", "phase", "node", "att", "rty", "t/o", "hedge",
+            "ms", "wire B",
+        )
+        rows = [columns]
+        for shard in self.shards:
+            hedge = "-"
+            if shard.hedged:
+                hedge = "won" if shard.hedge_won else "lost"
+            rows.append(
+                (
+                    shard.block,
+                    shard.phase,
+                    shard.node,
+                    str(shard.attempts),
+                    str(shard.retries),
+                    str(shard.timeouts),
+                    hedge,
+                    f"{shard.elapsed_ms:.1f}",
+                    str(shard.wire_bytes),
+                )
+            )
+        widths = [
+            max(len(row[i]) for row in rows) for i in range(len(columns))
+        ]
+        lines = [header]
+        for row in rows:
+            lines.append(
+                "  "
+                + "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+
 class ClusterLogGrep:
     """A small LogGrep cluster with replicated block placement."""
 
@@ -75,6 +199,8 @@ class ClusterLogGrep:
         replication: int = 2,
         config: Optional[LogGrepConfig] = None,
         parallelism: Optional[int] = None,
+        scatter: Optional[ScatterConfig] = None,
+        remote_profile: Optional[FaultProfile] = None,
     ):
         if num_nodes <= 0:
             raise ValueError("a cluster needs at least one node")
@@ -82,24 +208,62 @@ class ClusterLogGrep:
             raise ValueError("replication factor cannot exceed the node count")
         self.config = config or LogGrepConfig()
         self.replication = replication
-        self.nodes: Dict[str, WorkerNode] = {
-            f"node-{i}": WorkerNode(f"node-{i}", self.config)
-            for i in range(num_nodes)
-        }
+        self.scatter_config = scatter or ScatterConfig(
+            fanout_concurrency=parallelism or max(2, num_nodes)
+        )
+        #: When set, every node's store is a fault-injecting RemoteStore
+        #: (distinct deterministic seed per node).
+        self._remote_profile = remote_profile
+        self._stores_created = 0
+        self.nodes: Dict[str, WorkerNode] = {}
+        for i in range(num_nodes):
+            self._create_node(f"node-{i}")
         self._placement: Dict[str, List[str]] = {}  # block name → replica ids
         self._next_block_id = 0
         self._next_line_id = 0
         self.raw_bytes = 0
+        self.latency = LatencyTracker()
+        self._engine = ScatterGather(
+            self.scatter_config,
+            self.latency,
+            alive=self._node_alive,
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=parallelism or max(2, num_nodes)
         )
+        #: Per-shard roll-up of the most recent query (also returned in
+        #: ``result.report`` when ``analyze=True``).
+        self.last_report: Optional[ClusterQueryReport] = None
 
     # ------------------------------------------------------------------
+    def _make_store(self) -> ArchiveStore:
+        if self._remote_profile is None:
+            return MemoryStore()
+        profile = dataclasses.replace(
+            self._remote_profile,
+            seed=self._remote_profile.seed + 9973 * self._stores_created,
+        )
+        return RemoteStore(MemoryStore(), profile)
+
+    def _create_node(self, node_id: str) -> WorkerNode:
+        node = WorkerNode(node_id, self.config, store=self._make_store())
+        self._stores_created += 1
+        self.nodes[node_id] = node
+        return node
+
     def node(self, node_id: str) -> WorkerNode:
         return self.nodes[node_id]
 
+    def _node_alive(self, node_id: str) -> bool:
+        node = self.nodes.get(node_id)
+        return node is not None and node.alive
+
     def _alive_ids(self) -> List[str]:
         return [nid for nid, node in self.nodes.items() if node.alive]
+
+    def set_straggler(self, node_id: str, latency_s: float) -> None:
+        """Give one node a fixed per-RPC service latency (fault drill)."""
+        self.nodes[node_id].rpc_latency_s = latency_s
 
     # ------------------------------------------------------------------
     # ingest
@@ -129,77 +293,182 @@ class ClusterLogGrep:
                     node=replicas[0],
                 ) as ispan:
                     primary = self.nodes[replicas[0]]
-                    name, data = primary.compress_and_store(block)
+                    name, data, summary = primary.compress_and_store(block)
                     for replica_id in replicas[1:]:
-                        self.nodes[replica_id].store_replica(name, data)
+                        self.nodes[replica_id].store_replica(
+                            name, data, summary
+                        )
                     self._placement[name] = replicas
                     ispan.set("replicas", len(replicas))
 
             list(self._pool.map(ingest_one, blocks))
 
     # ------------------------------------------------------------------
+    # scatter/gather plumbing
+    # ------------------------------------------------------------------
+    def _shard_tasks(self, request: object = None) -> List[ShardTask]:
+        return [
+            ShardTask(name, list(self._placement[name]), request)
+            for name in sorted(self._placement)
+        ]
+
+    def _scatter(self, tasks, action, kind: str) -> List[ShardOutcome]:
+        try:
+            return self._engine.map(tasks, action, kind)
+        except ShardError as exc:
+            logger.warning("scatter failed: %s", exc)
+            raise ClusterError(str(exc)) from exc
+
+    # ------------------------------------------------------------------
     # query
     # ------------------------------------------------------------------
-    def grep(self, command: str, ignore_case: bool = False) -> GrepResult:
-        """Scatter one pre-built plan to an alive replica per block, gather,
-        merge.
+    def grep(
+        self,
+        command: str,
+        ignore_case: bool = False,
+        from_time: Optional[float] = None,
+        to_time: Optional[float] = None,
+        limit: Optional[int] = None,
+        analyze: bool = False,
+    ) -> GrepResult:
+        """Scatter one pre-built ROWS plan, gather row-set partials, then
+        reconstruct with a final bounded fetch.
 
-        The command is parsed and planned exactly once; every node receives
-        the same :class:`~repro.query.plan.QueryPlan` instead of re-parsing
-        the raw string per block.
+        The command is parsed and planned exactly once; every replica
+        receives the same :class:`~repro.query.plan.QueryPlan`.  Shards
+        return (group → row bitmap) partials — a few bytes per matched
+        group — and only the blocks (and rows) the coordinator actually
+        keeps are rendered back into lines, preferably by the replica
+        that already served the locate (its capsules are warm).  With
+        ``limit`` the fetch stops at the block prefix covering the first
+        *limit* matches (blocks partition the line-id space in name
+        order), so a point lookup over a huge archive reconstructs a
+        handful of blocks.
         """
-        import time
-
         tracer = get_tracer()
         start = time.perf_counter()
         stats = QueryStats()
-        all_entries: List[Tuple[int, str]] = []
+        report = ClusterQueryReport(command, OutputMode.ROWS.value)
+        plan = build_plan(
+            command, OutputMode.ROWS, ignore_case,
+            from_time=from_time, to_time=to_time,
+        )
+        _CLUSTER_QUERIES.inc(mode=plan.mode.value)
         with tracer.span("cluster.query", command=command) as qspan:
-            with tracer.span("plan"):
-                plan = build_plan(command, OutputMode.LINES, ignore_case)
-
             with tracer.span("cluster.fan_out") as fan:
-                def query_one(name: str) -> List[Tuple[int, str]]:
+                def locate(nid: str, task: ShardTask):
                     with tracer.span(
-                        "cluster.query_block", parent=fan, block=name
-                    ) as bspan:
-                        def run(node):
-                            bspan.set("node", node.node_id)
-                            return node.query_block(name, plan)
+                        "cluster.query_block",
+                        parent=fan,
+                        block=task.name,
+                        node=nid,
+                    ):
+                        return self.nodes[nid].query_block(task.name, plan)
 
-                        entries, _, block_stats = self._on_replica(name, run)
-                        bspan.set("entries", len(entries))
-                    stats.merge(block_stats)
-                    return entries
-
-                for entries in self._pool.map(query_one, sorted(self._placement)):
-                    all_entries.extend(entries)
-
-            with tracer.span("cluster.merge"):
-                all_entries.sort(key=lambda item: item[0])
-            stats.entries_matched = len(all_entries)
-            qspan.set("blocks", len(self._placement))
-            qspan.set("entries_matched", stats.entries_matched)
+                outcomes = self._scatter(
+                    self._shard_tasks(), locate, kind="rows"
+                )
+            # Gather on the coordinator thread, after the fan-out has
+            # fully drained — per-shard stats never merge concurrently.
+            report.add("rows", outcomes)
+            total = 0
+            for outcome in outcomes:
+                stats.merge(outcome.stats)
+                total += outcome.count
+            entries = self._fetch_entries(plan, outcomes, limit, stats, report)
+            stats.entries_matched = total
+            qspan.set("blocks", len(outcomes))
+            qspan.set("entries_matched", total)
         elapsed = time.perf_counter() - start
+        report.elapsed_ms = elapsed * 1000.0
+        self.last_report = report
         stats.publish(elapsed)
         return GrepResult(
-            [text for _, text in all_entries],
-            [line_id for line_id, _ in all_entries],
+            [text for _, text in entries],
+            [line_id for line_id, _ in entries],
             stats,
             elapsed,
+            report=report.render() if analyze else "",
         )
 
-    def count(self, command: str, ignore_case: bool = False) -> int:
-        """Distributed count: the same plan with reconstruction elided."""
-        plan = build_plan(command, OutputMode.COUNT, ignore_case)
+    def _fetch_entries(
+        self,
+        plan: QueryPlan,
+        outcomes: Sequence[ShardOutcome],
+        limit: Optional[int],
+        stats: QueryStats,
+        report: ClusterQueryReport,
+    ) -> List[Entry]:
+        """The bounded fetch: reconstruct only kept blocks/rows.
 
-        def count_one(name: str) -> int:
-            _, hit_count, _ = self._on_replica(
-                name, lambda node: node.query_block(name, plan)
-            )
-            return hit_count
+        Blocks partition the line-id space in name order, so a ``limit``
+        is covered by the minimal prefix of matching blocks whose
+        cumulative counts reach it.
+        """
+        hit = [o for o in outcomes if o.payload]
+        if limit is not None:
+            kept: List[ShardOutcome] = []
+            covered = 0
+            for outcome in hit:  # outcomes arrive in block-name order
+                kept.append(outcome)
+                covered += outcome.count
+                if covered >= limit:
+                    break
+            hit = kept
+        if not hit:
+            return []
+        tasks = []
+        for outcome in hit:
+            # Prefer the replica that served the locate: its box (and the
+            # hit groups' capsules) are warm.
+            replicas = [outcome.node_id] + [
+                nid
+                for nid in self._placement[outcome.name]
+                if nid != outcome.node_id
+            ]
+            tasks.append(ShardTask(outcome.name, replicas, outcome.payload))
+        fetched = self._scatter(
+            tasks,
+            lambda nid, task: self.nodes[nid].reconstruct_rows(
+                task.name, task.request  # type: ignore[arg-type]
+            ),
+            kind="lines",
+        )
+        report.add("lines", fetched)
+        entries: List[Entry] = []
+        for outcome in fetched:
+            stats.merge(outcome.stats)
+            entries.extend(outcome.payload)  # type: ignore[arg-type]
+        entries.sort(key=lambda item: item[0])
+        if limit is not None:
+            entries = entries[:limit]
+        return entries
 
-        return sum(self._pool.map(count_one, sorted(self._placement)))
+    def count(
+        self,
+        command: str,
+        ignore_case: bool = False,
+        from_time: Optional[float] = None,
+        to_time: Optional[float] = None,
+    ) -> int:
+        """Distributed count: the same plan with reconstruction elided;
+        shards ship a single integer each."""
+        start = time.perf_counter()
+        plan = build_plan(
+            command, OutputMode.COUNT, ignore_case,
+            from_time=from_time, to_time=to_time,
+        )
+        _CLUSTER_QUERIES.inc(mode=plan.mode.value)
+        outcomes = self._scatter(
+            self._shard_tasks(),
+            lambda nid, task: self.nodes[nid].query_block(task.name, plan),
+            kind="count",
+        )
+        report = ClusterQueryReport(command, plan.mode.value)
+        report.add("count", outcomes)
+        report.elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.last_report = report
+        return sum(outcome.count for outcome in outcomes)
 
     # ------------------------------------------------------------------
     # aggregation
@@ -209,51 +478,66 @@ class ClusterLogGrep:
         spec: AggregateSpec,
         where: Optional[str] = None,
         ignore_case: bool = False,
+        from_time: Optional[float] = None,
+        to_time: Optional[float] = None,
+        analyze: bool = False,
     ) -> AggregateResult:
         """Distributed aggregate: one plan shipped, partials merged.
 
-        The aggregate plan is built once and scattered like ``grep``; each
-        alive replica runs the Aggregate operator over its block and
-        returns a compact partial instead of reconstructed lines.  Partial
-        merging is commutative (Counter addition / multiset union), so the
-        thread pool's completion order never changes the result — the
-        merged value is identical to a single-node run over the same
-        lines.
+        The aggregate plan is built once and scattered like ``grep``;
+        each serving replica runs the Aggregate operator over its block
+        and returns a compact partial instead of reconstructed lines.
+        Partial merging is commutative (Counter addition / multiset
+        union), and the fold happens on the coordinator thread after the
+        fan-out drains, so the delivery schedule never changes the
+        result — the merged value is identical to a single-node run over
+        the same lines.
         """
         tracer = get_tracer()
         start = time.perf_counter()
-        plan = build_aggregate_plan(spec, where, ignore_case=ignore_case)
+        plan = build_aggregate_plan(
+            spec, where, ignore_case=ignore_case,
+            from_time=from_time, to_time=to_time,
+        )
         stats = QueryStats()
         merged = make_partial(spec)
         matched = 0
         _CLUSTER_AGG_QUERIES.inc(kind=spec.kind.value)
+        report = ClusterQueryReport(where or "<all>", plan.mode.value)
         with tracer.span(
             "cluster.aggregate", kind=spec.kind.value, where=where or ""
         ) as qspan:
-            def agg_one(name: str):
+            def fold(nid: str, task: ShardTask):
                 with tracer.span(
-                    "cluster.aggregate_block", parent=qspan, block=name
-                ) as bspan:
-                    def run(node: WorkerNode):
-                        bspan.set("node", node.node_id)
-                        return node.aggregate_block(name, plan)
+                    "cluster.aggregate_block",
+                    parent=qspan,
+                    block=task.name,
+                    node=nid,
+                ):
+                    return self.nodes[nid].aggregate_block(task.name, plan)
 
-                    return self._on_replica(name, run)
-
-            for partial, count, block_stats in self._pool.map(
-                agg_one, sorted(self._placement)
-            ):
-                stats.merge(block_stats)
-                matched += count
-                if partial is not None:
-                    merged.merge(partial)
+            outcomes = self._scatter(self._shard_tasks(), fold, kind="partial")
+            report.add("partial", outcomes)
+            for outcome in outcomes:
+                stats.merge(outcome.stats)
+                matched += outcome.count
+                if outcome.payload is not None:
+                    merged.merge(outcome.payload)
                     _CLUSTER_AGG_PARTIALS.inc()
             stats.entries_matched = matched
-            qspan.set("blocks", len(self._placement))
+            qspan.set("blocks", len(outcomes))
             qspan.set("entries_matched", matched)
         elapsed = time.perf_counter() - start
+        report.elapsed_ms = elapsed * 1000.0
+        self.last_report = report
         stats.publish(elapsed)
-        return AggregateResult(merged.finalize(spec), matched, stats, elapsed)
+        return AggregateResult(
+            merged.finalize(spec),
+            matched,
+            stats,
+            elapsed,
+            report=report.render() if analyze else "",
+        )
 
     def count_by(
         self, field: str, where: Optional[str] = None
@@ -286,21 +570,121 @@ class ClusterLogGrep:
         spec = LogGrep._timeseries_spec(total, buckets)
         return self.aggregate(spec, where).value  # type: ignore[return-value]
 
-    def _on_replica(self, name: str, action):
-        """Run *action* on the first alive replica of a block."""
-        last_error: Optional[Exception] = None
-        for replica_id in self._placement[name]:
-            node = self.nodes[replica_id]
-            if not node.alive:
-                continue
-            try:
-                return action(node)
-            except NodeDownError as exc:  # raced with a failure
-                last_error = exc
-        logger.warning("all replicas of %s are down: %s", name, self._placement[name])
-        raise ClusterError(
-            f"all replicas of {name} are down ({self._placement[name]})"
-        ) from last_error
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_node(
+        self, node_id: Optional[str] = None, rebalance: bool = True
+    ) -> str:
+        """Join a fresh node; by default rebalancing moves it its share
+        of replicas (rendezvous hashing only relocates blocks that now
+        score the new node highest)."""
+        if node_id is None:
+            i = len(self.nodes)
+            while f"node-{i}" in self.nodes:
+                i += 1
+            node_id = f"node-{i}"
+        if node_id in self.nodes:
+            raise ValueError(f"node {node_id} already exists")
+        self._create_node(node_id)
+        if rebalance:
+            self.rebalance()
+        return node_id
+
+    def remove_node(self, node_id: str) -> int:
+        """Decommission a node: drain its replicas to the survivors, drop
+        it from membership.  Returns the replica copies created.
+
+        The node may be dead — any surviving holder serves as the copy
+        source; a block whose only copies sat on the leaving node (and on
+        dead peers) raises :class:`ClusterError` before anything is
+        dropped.
+        """
+        if node_id not in self.nodes:
+            raise KeyError(f"no node {node_id}")
+        survivors = [nid for nid in self._alive_ids() if nid != node_id]
+        if len(survivors) < self.replication:
+            raise ValueError(
+                "removing the node would drop below the replication factor"
+            )
+        leaving = self.nodes[node_id]
+        planned: Dict[str, List[str]] = {}
+        sources: Dict[str, str] = {}
+        for name in sorted(self._placement):
+            desired = replica_nodes(name, survivors, self.replication)
+            holders = [
+                nid
+                for nid in self._placement[name]
+                if nid != node_id
+                and self.nodes[nid].alive
+                and self.nodes[nid].has_block(name)
+            ]
+            source = holders[0] if holders else (
+                node_id
+                if leaving.alive and leaving.has_block(name)
+                else None
+            )
+            if source is None and any(
+                target not in holders for target in desired
+            ):
+                raise ClusterError(
+                    f"block {name} would become unreachable removing {node_id}"
+                )
+            planned[name] = desired
+            if source is not None:
+                sources[name] = source
+        created = 0
+        for name, desired in planned.items():
+            for target in desired:
+                if not self.nodes[target].has_block(name):
+                    data, summary = self.nodes[sources[name]].fetch_block(name)
+                    self.nodes[target].store_replica(name, data, summary)
+                    created += 1
+                    _CLUSTER_REBALANCE_MOVES.inc()
+            self._placement[name] = desired
+        del self.nodes[node_id]
+        logger.info(
+            "removed %s: %d replica copies drained", node_id, created
+        )
+        return created
+
+    def rebalance(self) -> int:
+        """Recompute rendezvous placement over the current alive
+        membership and move replicas to match.  Returns copies + drops.
+
+        Blocks with no reachable holder are left alone (their placement
+        entry survives so a recovered holder restores service).
+        """
+        moves = 0
+        alive = self._alive_ids()
+        for name in sorted(self._placement):
+            desired = replica_nodes(name, alive, self.replication)
+            holders = [
+                nid
+                for nid, node in self.nodes.items()
+                if node.alive and node.has_block(name)
+            ]
+            if not holders:
+                continue  # unreachable until a holder recovers
+            data: Optional[bytes] = None
+            summary: Optional[BlockSummary] = None
+            for target in desired:
+                if target in holders:
+                    continue
+                if data is None:
+                    data, summary = self.nodes[holders[0]].fetch_block(name)
+                self.nodes[target].store_replica(name, data, summary)
+                moves += 1
+                _CLUSTER_REBALANCE_MOVES.inc()
+            for holder in holders:
+                if holder not in desired:
+                    self.nodes[holder].drop_block(name)
+                    moves += 1
+                    _CLUSTER_REBALANCE_MOVES.inc()
+            self._placement[name] = desired
+        if moves:
+            logger.info("rebalance moved %d replica copies", moves)
+        return moves
 
     # ------------------------------------------------------------------
     # maintenance
@@ -324,13 +708,13 @@ class ClusterLogGrep:
             missing = self.replication - len(holders)
             if missing <= 0:
                 continue
-            data = self.nodes[holders[0]].store.get(name)
+            data, summary = self.nodes[holders[0]].fetch_block(name)
             for candidate in replica_nodes(name, alive, len(alive)):
                 if missing == 0:
                     break
                 if candidate in holders:
                     continue
-                self.nodes[candidate].store_replica(name, data)
+                self.nodes[candidate].store_replica(name, data, summary)
                 holders.append(candidate)
                 created += 1
                 missing -= 1
@@ -358,6 +742,7 @@ class ClusterLogGrep:
         return sum(node.storage_bytes() for node in self.nodes.values())
 
     def close(self) -> None:
+        self._engine.close()
         self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "ClusterLogGrep":

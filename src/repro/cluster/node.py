@@ -2,25 +2,42 @@
 
 A worker owns the CapsuleBoxes placed on it and can execute both halves of
 the distributed protocol locally: compress a raw block into a CapsuleBox,
-and run a parsed query command over one of its blocks (locate + optional
-reconstruction).  Failure is simulated with a flag; a dead node raises
-:class:`NodeDownError` on any RPC-like call, which the coordinator treats
-as a signal to fail over to another replica.
+and run a shipped plan over one of its blocks.  Each node keeps its own
+prune-index summaries (shipped with replicas at ingest), so Bloom *and*
+time pruning cost zero reads against its store — which may be a
+fault-injecting :class:`~repro.blockstore.remote.RemoteStore`.
+
+Failure modes the coordinator must survive are all simulated here:
+
+* a dead node (``fail()``) raises :class:`NodeDownError` on any RPC;
+* a **straggler** (``rpc_latency_s``) sleeps before serving, holding its
+  single service slot — hedged reads route around it;
+* a remote store may inject per-request latency/failures underneath the
+  executor's ranged reads.
+
+Every RPC funnels through :meth:`_serve`, which models a one-core worker:
+a per-node semaphore serializes service, so scattering over more nodes
+genuinely adds capacity (the property the shard-count benchmark measures).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
 
-from ..blockstore.block import LogBlock
-from ..blockstore.store import MemoryStore
+from ..blockstore.block import LogBlock, block_name
+from ..blockstore.index import ArchiveIndex, BlockSummary
+from ..blockstore.store import ArchiveStore, MemoryStore
 from ..common.errors import ReproError
 from ..core.compressor import compress_block
 from ..core.config import LogGrepConfig
 from ..obs.metrics import get_registry
 from ..query.aggregate import AggregatePartial
-from ..query.executor import QueryExecutor, StoreBoxSource
-from ..query.plan import QueryPlan
+from ..query.engine import GroupRows
+from ..query.executor import Entry, QueryExecutor, StoreBoxSource
+from ..query.plan import OutputMode, QueryPlan
 from ..query.stats import QueryStats
 
 _NODE_QUERIES = get_registry().counter(
@@ -38,17 +55,31 @@ class NodeDownError(ReproError):
 class WorkerNode:
     """One storage/query worker of a LogGrep cluster."""
 
-    def __init__(self, node_id: str, config: Optional[LogGrepConfig] = None):
+    def __init__(
+        self,
+        node_id: str,
+        config: Optional[LogGrepConfig] = None,
+        store: Optional[ArchiveStore] = None,
+        serve_slots: int = 1,
+    ):
         self.node_id = node_id
         self.config = config or LogGrepConfig()
-        self.store = MemoryStore()
+        self.store = store if store is not None else MemoryStore()
+        self.index = ArchiveIndex()
         self.alive = True
         self.queries_served = 0
         self.blocks_compressed = 0
+        #: Simulated per-RPC service latency (slept while holding a serve
+        #: slot) — the straggler injection knob.
+        self.rpc_latency_s = 0.0
+        self._slots = threading.Semaphore(max(1, serve_slots))
         # Each worker runs the same physical pipeline as a single-node
-        # LogGrep over its local replica store (no query cache: cluster
-        # queries are scattered, so refining locality lives coordinator-side).
-        self._executor = QueryExecutor(StoreBoxSource(self.store), self.config)
+        # LogGrep over its local replica store, pruning via its own
+        # summaries (no query cache: cluster queries are scattered, so
+        # refining locality lives coordinator-side).
+        self._executor = QueryExecutor(
+            StoreBoxSource(self.store, index=self.index), self.config
+        )
 
     # ------------------------------------------------------------------
     def _check_alive(self) -> None:
@@ -62,23 +93,63 @@ class WorkerNode:
     def recover(self) -> None:
         self.alive = True
 
+    @contextmanager
+    def _serve(self) -> Iterator[None]:
+        """One RPC's service window: liveness check, straggler latency,
+        and the node's single-core service slot.
+
+        The straggler sleep happens *before* the slot is taken — it
+        models a slow network path to the node, so concurrent delayed
+        RPCs overlap instead of convoying behind one another (abandoned
+        attempts must not serialize the node forever)."""
+        self._check_alive()
+        if self.rpc_latency_s > 0.0:
+            time.sleep(self.rpc_latency_s)
+        with self._slots:
+            self._check_alive()
+            yield
+
     # ------------------------------------------------------------------
     # ingest path
     # ------------------------------------------------------------------
-    def compress_and_store(self, block: LogBlock) -> Tuple[str, bytes]:
-        """Compress a raw block locally; returns (name, archive bytes) so
-        the coordinator can fan the replica copies out."""
-        self._check_alive()
-        name = f"block-{block.block_id:08d}.lgcb"
-        data = compress_block(block, self.config).serialize()
-        self.store.put(name, data)
-        self.blocks_compressed += 1
-        _NODE_BLOCKS.inc(node=self.node_id)
-        return name, data
+    def compress_and_store(
+        self, block: LogBlock
+    ) -> Tuple[str, bytes, BlockSummary]:
+        """Compress a raw block locally; returns (name, archive bytes,
+        prune summary) so the coordinator can fan the replica copies —
+        and their summaries — out."""
+        with self._serve():
+            name = block_name(block.block_id)
+            box = compress_block(block, self.config)
+            data = box.serialize()
+            summary = BlockSummary.from_box(box, lines=block.lines)
+            self.store.put(name, data)
+            self.index.add(name, summary)
+            self.blocks_compressed += 1
+            _NODE_BLOCKS.inc(node=self.node_id)
+            return name, data, summary
 
-    def store_replica(self, name: str, data: bytes) -> None:
-        self._check_alive()
-        self.store.put(name, data)
+    def store_replica(
+        self, name: str, data: bytes, summary: Optional[BlockSummary] = None
+    ) -> None:
+        with self._serve():
+            self.store.put(name, data)
+            if summary is not None:
+                self.index.add(name, summary)
+
+    def drop_block(self, name: str) -> None:
+        """Remove a replica this node no longer owns (rebalance)."""
+        with self._serve():
+            if self.store.exists(name):
+                self.store.delete(name)
+            self.index.discard(name)
+
+    def fetch_block(
+        self, name: str
+    ) -> Tuple[bytes, Optional[BlockSummary]]:
+        """Read one replica back out (repair/rebalance traffic)."""
+        with self._serve():
+            return self.store.get(name), self.index.get(name)
 
     def has_block(self, name: str) -> bool:
         return self.store.exists(name)
@@ -94,21 +165,42 @@ class WorkerNode:
     # ------------------------------------------------------------------
     def query_block(
         self, name: str, plan: QueryPlan
-    ) -> Tuple[List[Tuple[int, str]], int, QueryStats]:
+    ) -> Tuple[object, int, QueryStats]:
         """Execute a pre-built *plan* over one local block.
 
         The coordinator plans the command once and ships the plan; the
-        node runs the shared operator pipeline (BloomPrune → LoadBox →
-        Locate → Match → Reconstruct) over its replica.  Returns
-        (entries, hit count, stats); *entries* is empty for ``COUNT``
-        plans, whose reconstruction is elided.
+        node runs the shared operator pipeline (TimePrune → BloomPrune →
+        LoadBox → Locate → Match → …) over its replica.  Returns
+        (payload, hit count, stats) where the payload depends on the
+        plan's mode: reconstructed entries (``LINES``), per-group row
+        sets (``ROWS`` — the partial-gather protocol), or ``None``
+        (``COUNT``).
         """
-        self._check_alive()
-        self.queries_served += 1
-        _NODE_QUERIES.inc(node=self.node_id)
-        stats = QueryStats()
-        outcome = self._executor.execute_block(name, plan, stats)
-        return outcome.entries, outcome.count, stats
+        with self._serve():
+            self.queries_served += 1
+            _NODE_QUERIES.inc(node=self.node_id)
+            stats = QueryStats()
+            outcome = self._executor.execute_block(name, plan, stats)
+            payload: object
+            if plan.mode is OutputMode.ROWS:
+                payload = outcome.rows if outcome.rows is not None else {}
+            elif plan.mode is OutputMode.COUNT:
+                payload = None
+            else:
+                payload = outcome.entries
+            return payload, outcome.count, stats
+
+    def reconstruct_rows(
+        self, name: str, rows: GroupRows
+    ) -> Tuple[List[Entry], int, QueryStats]:
+        """The bounded-fetch half of a ROWS query: rebuild exactly the
+        rows the coordinator kept after its gather."""
+        with self._serve():
+            self.queries_served += 1
+            _NODE_QUERIES.inc(node=self.node_id)
+            stats = QueryStats()
+            entries = self._executor.reconstruct_rows(name, rows, stats)
+            return entries, len(entries), stats
 
     def aggregate_block(
         self, name: str, plan: QueryPlan
@@ -121,9 +213,9 @@ class WorkerNode:
         compact partial (a Counter / stats multiset / histogram) instead
         of log lines.  Partials merge commutatively coordinator-side.
         """
-        self._check_alive()
-        self.queries_served += 1
-        _NODE_QUERIES.inc(node=self.node_id)
-        stats = QueryStats()
-        outcome = self._executor.execute_block(name, plan, stats)
-        return outcome.partial, outcome.count, stats
+        with self._serve():
+            self.queries_served += 1
+            _NODE_QUERIES.inc(node=self.node_id)
+            stats = QueryStats()
+            outcome = self._executor.execute_block(name, plan, stats)
+            return outcome.partial, outcome.count, stats

@@ -1,0 +1,82 @@
+"""Cheap wall-clock timestamp extraction from raw log lines.
+
+LogGrep's logical clock is the line id, but real queries start with a
+wall-clock window ("errors between 09:00 and 09:05").  Blocks are written
+in arrival order, so a per-block [min, max] timestamp range is enough to
+prune whole blocks before any Bloom or stamp check runs — the range is
+computed once at compress time from the raw lines (ROADMAP item 1
+groundwork) and travels in the prune-index sidecar.
+
+Extraction is deliberately conservative: only an anchored
+``YYYY-MM-DD[ T]HH:MM:SS[.ffffff]`` prefix (the overwhelmingly common
+cloud-log shape) is recognized.  Lines without a parseable timestamp
+contribute nothing to the block's range; a block with *no* timestamped
+lines has an unknown range and is never time-pruned.
+"""
+
+from __future__ import annotations
+
+import calendar
+import re
+from typing import Dict, Iterable, Optional, Tuple
+
+_TS_RE = re.compile(
+    r"^(\d{4})-(\d{2})-(\d{2})[ T](\d{2}):(\d{2}):(\d{2})(?:[.,](\d{1,6}))?"
+)
+
+#: (year, month, day) → epoch seconds at midnight UTC.  Logs repeat the
+#: same few dates millions of times; memoizing the calendar arithmetic
+#: keeps per-line extraction to one regex match plus integer math.
+_DAY_EPOCH: Dict[Tuple[int, int, int], int] = {}
+
+
+def extract_timestamp(line: str) -> Optional[float]:
+    """Epoch seconds (UTC) of the line's leading timestamp, or None."""
+    match = _TS_RE.match(line)
+    if match is None:
+        return None
+    year, month, day = int(match[1]), int(match[2]), int(match[3])
+    key = (year, month, day)
+    base = _DAY_EPOCH.get(key)
+    if base is None:
+        if not 1 <= month <= 12 or not 1 <= day <= 31:
+            return None
+        base = calendar.timegm((year, month, day, 0, 0, 0))
+        _DAY_EPOCH[key] = base
+    seconds = base + int(match[4]) * 3600 + int(match[5]) * 60 + int(match[6])
+    fraction = match[7]
+    if fraction:
+        return seconds + int(fraction) / 10 ** len(fraction)
+    return float(seconds)
+
+
+def time_range_of(
+    lines: Iterable[str],
+) -> Tuple[Optional[float], Optional[float]]:
+    """(min, max) timestamp over *lines*; (None, None) when none parse."""
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    for line in lines:
+        ts = extract_timestamp(line)
+        if ts is None:
+            continue
+        if lo is None or ts < lo:
+            lo = ts
+        if hi is None or ts > hi:
+            hi = ts
+    return lo, hi
+
+
+def parse_time_arg(text: str) -> float:
+    """A CLI time bound: epoch seconds, or the log timestamp format."""
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    ts = extract_timestamp(text)
+    if ts is None:
+        raise ValueError(
+            f"unrecognized time {text!r} (want epoch seconds or "
+            "YYYY-MM-DD HH:MM:SS)"
+        )
+    return ts

@@ -42,7 +42,7 @@ from ..query.cache import QueryCache, get_value_cache
 from ..query.executor import BoxCache, QueryExecutor, StoreBoxSource
 from ..query.explain import render_analyze
 from ..query.modes import AggregateKind
-from ..query.plan import OutputMode, build_aggregate_plan
+from ..query.plan import OutputMode, build_aggregate_plan, build_plan
 from ..query.stats import NULL_LEDGER, QueryLedger, QueryStats
 from ..staticparse.cache import TemplateCache
 from .config import LogGrepConfig
@@ -227,13 +227,26 @@ class LogGrep:
     # ------------------------------------------------------------------
     # query
     # ------------------------------------------------------------------
-    def grep(self, command: str, ignore_case: bool = False) -> GrepResult:
+    def grep(
+        self,
+        command: str,
+        ignore_case: bool = False,
+        from_time: Optional[float] = None,
+        to_time: Optional[float] = None,
+    ) -> GrepResult:
         """Execute a grep-like query command over every stored block.
 
         ``ignore_case`` applies grep ``-i`` semantics (an extension; the
-        paper's queries are case-sensitive).
+        paper's queries are case-sensitive).  ``from_time``/``to_time``
+        (epoch seconds) prune blocks whose sidecar timestamp range is
+        disjoint from the window before any other work — block-granular
+        partition pruning, zero store reads for out-of-window blocks.
         """
-        result = self._executor.run(command, OutputMode.LINES, ignore_case)
+        plan = build_plan(
+            command, OutputMode.LINES, ignore_case,
+            from_time=from_time, to_time=to_time,
+        )
+        result = self._executor.run(plan)
         logger.debug(
             "grep %r: %d hit(s) in %.1fms (%d capsules opened, %d filtered, "
             "%d blocks pruned)",
@@ -277,7 +290,13 @@ class LogGrep:
             report,
         )
 
-    def count(self, command: str, ignore_case: bool = False) -> int:
+    def count(
+        self,
+        command: str,
+        ignore_case: bool = False,
+        from_time: Optional[float] = None,
+        to_time: Optional[float] = None,
+    ) -> int:
         """Number of matching entries, skipping reconstruction entirely.
 
         Counting is the same plan as :meth:`grep` with the Reconstruct
@@ -287,7 +306,11 @@ class LogGrep:
         (grep -c).  Blocks are scheduled exactly like grep, including the
         ``query_parallelism`` thread pool.
         """
-        return self._executor.run(command, OutputMode.COUNT, ignore_case).count
+        plan = build_plan(
+            command, OutputMode.COUNT, ignore_case,
+            from_time=from_time, to_time=to_time,
+        )
+        return self._executor.run(plan).count
 
     # ------------------------------------------------------------------
     # aggregation (pushdown: executed as the Aggregate pipeline operator)

@@ -78,7 +78,7 @@ def _encode_job(
     start = time.perf_counter()
     box = encode_parsed(block, parsed, config)  # type: ignore[arg-type]
     data = box.serialize()
-    summary = BlockSummary.from_box(box)
+    summary = BlockSummary.from_box(box, lines=block.lines)
     return data, summary, time.perf_counter() - start
 
 
@@ -196,7 +196,7 @@ class CompressionScheduler:
         box = encode_parsed(block, parsed, self.config, parent=parent)  # type: ignore[arg-type]
         with tracer.span("serialize", parent=parent):
             data = box.serialize()
-        summary = BlockSummary.from_box(box)
+        summary = BlockSummary.from_box(box, lines=block.lines)
         return data, summary, time.perf_counter() - start
 
     # ------------------------------------------------------------------

@@ -212,6 +212,10 @@ class BlockOutcome:
     rendering: Optional[str] = None  # EXPLAIN mode only
     #: Per-block partial aggregate (aggregate plans only).
     partial: Optional[AggregatePartial] = None
+    #: Located per-group row sets (``ROWS`` plans only): the compact
+    #: shippable form of a grep hit — reconstruction is deferred to a
+    #: later :meth:`QueryExecutor.reconstruct_rows` call.
+    rows: Optional[GroupRows] = None
 
 
 @dataclass
@@ -229,6 +233,9 @@ class ExecutionResult:
     #: The merged partial aggregate (aggregate plans only); callers
     #: ``finalize`` it against the plan's spec.
     aggregate: Optional[AggregatePartial] = None
+    #: Per-block located row sets (``ROWS`` plans only), keyed by block
+    #: name; feed them back through :meth:`QueryExecutor.reconstruct_rows`.
+    rowsets: Dict[str, GroupRows] = field(default_factory=dict)
 
     @property
     def count(self) -> int:
@@ -284,6 +291,7 @@ class QueryExecutor:
                 outcomes = self._schedule(names, plan, stats, qspan, ledger)
                 entries: List[Entry] = []
                 renderings: List[str] = []
+                rowsets: Dict[str, GroupRows] = {}
                 merged: Optional[AggregatePartial] = None
                 total = 0
                 for outcome in outcomes:
@@ -291,6 +299,8 @@ class QueryExecutor:
                     total += outcome.count
                     if outcome.rendering is not None:
                         renderings.append(outcome.rendering)
+                    if outcome.rows is not None:
+                        rowsets[outcome.name] = outcome.rows
                     if outcome.partial is not None:
                         # Partial merge is commutative, so the block-order
                         # fold here equals any completion-order fold.
@@ -323,7 +333,8 @@ class QueryExecutor:
             stats.publish(elapsed)
         self._maybe_log_slow(plan, stats, ledger, elapsed)
         return ExecutionResult(
-            plan, entries, stats, elapsed, renderings, ledger, merged
+            plan, entries, stats, elapsed, renderings, ledger, merged,
+            rowsets,
         )
 
     def _make_ledger(self, mode: OutputMode) -> QueryLedger:
@@ -438,6 +449,27 @@ class QueryExecutor:
             if getattr(self.config, "use_prune_index", True)
             else None
         )
+        # -- TimePrune: a block whose sidecar timestamp range is disjoint
+        # from the plan's wall-clock window is skipped before any Bloom or
+        # stamp check — zero store reads.  Runs even for match-all
+        # aggregates (no disjuncts needed); blocks without a known range
+        # conservatively survive.
+        if (
+            box is None
+            and summary is not None
+            and (plan.from_time is not None or plan.to_time is not None)
+            and not summary.in_time_range(plan.from_time, plan.to_time)
+        ):
+            stats.blocks_pruned += 1
+            stats.blocks_time_pruned += 1
+            rendering = (
+                f"block {name}: pruned by time window "
+                f"(block range [{summary.min_ts}, {summary.max_ts}] outside "
+                f"[{plan.from_time}, {plan.to_time}])"
+                if plan.mode is OutputMode.EXPLAIN
+                else None
+            )
+            return BlockOutcome(name, pruned=True, rendering=rendering)
         # -- BloomPrune: with an index entry the whole check runs in
         # memory (zero store reads); otherwise only the Bloom section is
         # fetched via the TOC — a prune never pays a whole-blob read.
@@ -498,6 +530,14 @@ class QueryExecutor:
                 hits = engine.full_rows()
             lspan.set("groups_hit", len(hits))
         count = sum(len(rows) for rows in hits.values())
+        # -- ROWS: ship the located row sets themselves (bitmaps — a few
+        # bytes per group) and let the caller defer reconstruction to a
+        # bounded fetch; the cluster's grep gather path.
+        if plan.mode is OutputMode.ROWS:
+            return BlockOutcome(
+                name, count=count,
+                rows={g: rows for g, rows in hits.items() if rows},
+            )
         # -- Aggregate (replaces Reconstruct for aggregate plans): fold
         # the located rows into a per-block partial without rebuilding a
         # single line.  ANALYZE aggregates run the same operator with the
@@ -532,6 +572,40 @@ class QueryExecutor:
                 entries = reconstructor.reconstruct(hits)
                 rspan.set("entries", len(entries))
         return BlockOutcome(name, entries=entries, count=count)
+
+    # ------------------------------------------------------------------
+    # deferred reconstruction (the second half of a ROWS query)
+    # ------------------------------------------------------------------
+    def reconstruct_rows(
+        self,
+        name: str,
+        hits: GroupRows,
+        stats: Optional[QueryStats] = None,
+    ) -> List[Entry]:
+        """Rebuild the original entries of pre-located rows of one block.
+
+        The bounded-fetch half of the ROWS protocol: a coordinator that
+        gathered row sets calls back (on any replica holding the block)
+        with exactly the rows it still wants rendered.  Loads go through
+        the shared BoxCache/lazy-I/O path; only the hit groups' capsule
+        payloads are fetched, coalesced.
+        """
+        from ..core.reconstructor import BlockReconstructor
+
+        stats = stats if stats is not None else QueryStats()
+        hits = {g: rows for g, rows in hits.items() if rows}
+        if not hits:
+            return []
+        tracer = get_tracer()
+        with tracer.span("reconstruct", block=name) as rspan:
+            box = self.load_box(name)
+            prefetched = box.prefetch(hits.keys())
+            if prefetched:
+                rspan.set("prefetched_bytes", prefetched)
+            reconstructor = BlockReconstructor(box, self._settings(), stats)
+            entries = reconstructor.reconstruct(hits)
+            rspan.set("entries", len(entries))
+        return entries
 
     # ------------------------------------------------------------------
     # the Aggregate operator
@@ -759,6 +833,8 @@ class QueryExecutor:
             tail = "Reconstruct"
         elif plan.mode is OutputMode.COUNT:
             tail = "Reconstruct(elided)"
+        elif plan.mode is OutputMode.ROWS:
+            tail = "ShipRowSets -> Reconstruct(deferred)"
         else:
             tail = "Reconstruct(dry-run)"
         parallelism = getattr(self.config, "query_parallelism", 1)

@@ -40,6 +40,9 @@ class OutputMode(Enum):
     EXPLAIN = "explain"  # dry run; render per-operator decisions
     ANALYZE = "analyze"  # full pipeline + per-operator resource ledger
     AGGREGATE = "aggregate"  # fold located rows into a partial aggregate
+    #: Locate only; ship the per-group row sets and defer reconstruction
+    #: to a later bounded fetch (the cluster's grep gather protocol).
+    ROWS = "rows"
 
 
 def term_selectivity(term: Term) -> int:
@@ -100,6 +103,13 @@ class QueryPlan:
     #: into (replacing Reconstruct).  ``None`` disjuncts + an aggregate
     #: means match-all — every row of every group is aggregated.
     aggregate: Optional[AggregateSpec] = None
+    #: Optional wall-clock window (epoch seconds, inclusive): blocks whose
+    #: prune-index timestamp range is disjoint from it are skipped before
+    #: any Bloom/stamp check — zero store reads.  Pruning is
+    #: block-granular (partition pruning): in-window blocks still return
+    #: all their matches.
+    from_time: Optional[float] = None
+    to_time: Optional[float] = None
 
     @property
     def raw(self) -> str:
@@ -130,6 +140,11 @@ class QueryPlan:
         ]
         if self.aggregate is not None:
             lines.append(f"  aggregate: {self.aggregate.describe()}")
+        if self.from_time is not None or self.to_time is not None:
+            lines.append(
+                f"  time window: [{self.from_time}, {self.to_time}] "
+                "(block-granular prune)"
+            )
         for i, disjunct in enumerate(self.disjuncts):
             lines.append(f"  disjunct {i}: {disjunct.describe()}")
         if not self.disjuncts:
@@ -142,6 +157,8 @@ def build_plan(
     mode: OutputMode = OutputMode.LINES,
     ignore_case: bool = False,
     aggregate: Optional[AggregateSpec] = None,
+    from_time: Optional[float] = None,
+    to_time: Optional[float] = None,
 ) -> QueryPlan:
     """Parse (if needed) and plan a query command.
 
@@ -156,7 +173,7 @@ def build_plan(
     disjuncts = [
         PlannedDisjunct.from_terms(disjunct) for disjunct in parsed.disjuncts
     ]
-    return QueryPlan(parsed, mode, disjuncts, aggregate)
+    return QueryPlan(parsed, mode, disjuncts, aggregate, from_time, to_time)
 
 
 def match_all_command(ignore_case: bool = False) -> QueryCommand:
@@ -174,6 +191,8 @@ def build_aggregate_plan(
     where: Optional[Union[str, QueryCommand]] = None,
     mode: OutputMode = OutputMode.AGGREGATE,
     ignore_case: bool = False,
+    from_time: Optional[float] = None,
+    to_time: Optional[float] = None,
 ) -> QueryPlan:
     """Plan one aggregate: optional WHERE filter + the aggregate spec.
 
@@ -184,4 +203,7 @@ def build_aggregate_plan(
     command: Union[str, QueryCommand] = (
         where if where else match_all_command(ignore_case)
     )
-    return build_plan(command, mode, ignore_case, aggregate=spec)
+    return build_plan(
+        command, mode, ignore_case, aggregate=spec,
+        from_time=from_time, to_time=to_time,
+    )

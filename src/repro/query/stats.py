@@ -39,6 +39,7 @@ class QueryStats:
     cache_hits: int = 0
     blocks_visited: int = 0
     blocks_pruned: int = 0  # skipped via block-level Bloom filters
+    blocks_time_pruned: int = 0  # subset of blocks_pruned: time window
     entries_matched: int = 0
 
     def merge(self, other: "QueryStats") -> None:

@@ -1,0 +1,120 @@
+"""Tests for the fault-injecting simulated object store."""
+
+import time
+
+import pytest
+
+from repro.blockstore.remote import FaultProfile, RemoteStore, RemoteStoreError
+from repro.blockstore.store import MemoryStore
+from repro.core.config import LogGrepConfig
+from repro.core.loggrep import LogGrep
+from tests.conftest import make_mixed_lines
+
+CONFIG = LogGrepConfig(block_bytes=8 * 1024)
+
+
+class TestRequestAccounting:
+    def test_data_path_ops_are_billable(self):
+        store = RemoteStore()
+        store.put("a", b"hello")
+        assert store.get("a") == b"hello"
+        assert store.get_range("a", 1, 3) == b"ell"
+        assert store.size("a") == 5
+        store.put_aux("a.idx", b"meta")
+        assert store.get_aux("a.idx") == b"meta"
+        store.delete_aux("a.idx")
+        store.delete("a")
+        assert store.requests == 8
+
+    def test_local_bookkeeping_is_free(self):
+        store = RemoteStore()
+        store.put("a", b"hello")
+        before = store.requests
+        assert store.exists("a")
+        assert not store.aux_exists("a")
+        assert store.names() == ["a"]
+        assert store.total_bytes() == 5
+        assert store.requests == before
+
+    def test_latency_injected(self):
+        store = RemoteStore(profile=FaultProfile(latency_s=0.02))
+        store.put("a", b"x")
+        start = time.perf_counter()
+        store.get("a")
+        assert time.perf_counter() - start >= 0.02
+
+
+class TestFaultInjection:
+    def test_fail_first_heals_after_n(self):
+        store = RemoteStore(profile=FaultProfile(fail_first=2))
+        with pytest.raises(RemoteStoreError):
+            store.put("a", b"x")
+        with pytest.raises(RemoteStoreError):
+            store.put("a", b"x")
+        store.put("a", b"x")  # third request succeeds
+        assert store.get("a") == b"x"
+        assert store.failures_injected == 2
+
+    def test_failure_rate_one_always_fails(self):
+        inner = MemoryStore()
+        inner.put("a", b"x")
+        store = RemoteStore(inner, FaultProfile(failure_rate=1.0))
+        for _ in range(5):
+            with pytest.raises(RemoteStoreError):
+                store.get("a")
+        assert store.failures_injected == 5
+
+    def test_failure_schedule_is_deterministic(self):
+        def schedule(seed):
+            inner = MemoryStore()
+            inner.put("a", b"x")
+            store = RemoteStore(inner, FaultProfile(failure_rate=0.5, seed=seed))
+            outcomes = []
+            for _ in range(32):
+                try:
+                    store.get("a")
+                    outcomes.append(True)
+                except RemoteStoreError:
+                    outcomes.append(False)
+            return outcomes
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_set_profile_swaps_live(self):
+        store = RemoteStore()
+        store.put("a", b"x")
+        store.set_profile(FaultProfile(failure_rate=1.0))
+        with pytest.raises(RemoteStoreError):
+            store.get("a")
+        store.set_profile(FaultProfile())
+        assert store.get("a") == b"x"
+
+
+class TestLogGrepOverRemote:
+    """The whole lazy-I/O stack must run unchanged against a RemoteStore."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return make_mixed_lines(700, seed=11)
+
+    def test_grep_matches_memory_store(self, corpus):
+        local = LogGrep(store=MemoryStore(), config=CONFIG)
+        local.compress(corpus)
+        remote = LogGrep(store=RemoteStore(), config=CONFIG)
+        remote.compress(corpus)
+        for command in ("read", "state: ERR", "bk.A* AND read"):
+            expected = local.grep(command)
+            got = remote.grep(command)
+            assert got.lines == expected.lines
+            assert got.line_ids == expected.line_ids
+
+    def test_ranged_reads_hit_remote(self, corpus):
+        store = RemoteStore()
+        lg = LogGrep(store=store, config=CONFIG)
+        lg.compress(corpus)
+        before = store.requests
+        fresh = LogGrep(store=store, config=CONFIG)
+        result = fresh.grep("state: ERR")
+        assert result.count > 0
+        assert store.requests > before  # queries pay remote requests
