@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""PR-8 benchmark regression ledger.
+"""PR-9 benchmark regression ledger.
 
-Runs the micro-benches and writes a ``BENCH_PR8.json`` regression ledger:
+Runs the micro-benches and writes a ``BENCH_PR9.json`` regression ledger:
 
 * **Fig-7 grep latency** — LogGrep vs gzip+grep on the Table-1 query of a
   few representative datasets.  The gated metric is the dimensionless
@@ -23,6 +23,14 @@ Runs the micro-benches and writes a ``BENCH_PR8.json`` regression ledger:
   ≤ 30 % of the bytes line-shipping would; and with one replica straggling
   +200 ms per RPC, hedged-read p99 must stay within 1.5x of the
   no-straggler p99 (the un-hedged tail is recorded alongside).
+
+* **Lifecycle** (PR-9) — three hard-gated bars on the hot tail and the
+  tier engine: ingest-to-queryable latency (building the in-memory tail
+  box) must stay within 1.2x of a plain single-block parse; cold-demoting
+  several archives into one cross-archive shared template store must cost
+  ≤ 85 % of the bytes that per-archive offline rewrites cost on a
+  repeated-template workload; and a tail-inclusive grep must equal the
+  post-flush grep byte for byte (lines and line ids).
 
 It also asserts the PR-6 acceptance bar that per-query accounting stays
 off the hot path: grep latency with the ledger enabled (slow-query
@@ -358,6 +366,112 @@ def bench_cluster(lines_per_spec, rounds):
     }
 
 
+def bench_lifecycle(lines_per_spec, rounds):
+    """PR-9 lifecycle bars: ingest-to-queryable latency, cross-archive
+    shared-store dedup, and tail/flush query equivalence."""
+    import random
+
+    from repro.blockstore.block import LogBlock
+    from repro.blockstore.shared import SharedTemplateStore
+    from repro.core.compressor import parse_block
+    from repro.core.lifecycle import LifecycleManager, Tier, archive_offline
+    from repro.core.streaming import StreamingCompressor
+    from repro.staticparse.cache import TemplateCache
+
+    spec = spec_by_name("Log A")
+    lines = spec.generate(lines_per_spec)
+    config = LogGrepConfig(block_bytes=BLOCK_BYTES)
+
+    # --- ingest-to-queryable vs a plain single-block parse -------------
+    # One block's worth of lines held in the append buffer: the tail box
+    # build (cheap parse + speed-tier encode) is what stands between
+    # append() returning and the line being grep-able.
+    block_lines = []
+    budget = BLOCK_BYTES - 1024
+    for line in lines:
+        budget -= len(line) + 1
+        if budget <= 0:
+            break
+        block_lines.append(line)
+    parse_s = float("inf")
+    for _ in range(rounds):
+        block = LogBlock(0, 0, list(block_lines))
+        start = time.perf_counter()
+        parse_block(block, config, TemplateCache())
+        parse_s = min(parse_s, time.perf_counter() - start)
+    tail_s = float("inf")
+    with StreamingCompressor(config=config) as stream:
+        # Steady state: earlier sealed blocks have already warmed the
+        # shared template cache, exactly as they would mid-ingest; the
+        # measured cost is rebuilding the tail box after an append.
+        stream.extend(lines)
+        stream.flush()
+        stream.extend(block_lines)
+        for _ in range(rounds):
+            stream._tail_boxes.clear()
+            start = time.perf_counter()
+            stream._tail_box(stream.tail_snapshot())
+            tail_s = min(tail_s, time.perf_counter() - start)
+
+    # --- cross-archive dedup on a repeated-template workload -----------
+    # Several archives of the same service emit the same templates and
+    # the same low-cardinality (but individually large) dictionary
+    # values; per-archive offline rewrites store those dictionaries once
+    # per archive, the shared store stores them once, period.
+    rng = random.Random(7)
+    values = ["req-%024x" % rng.getrandbits(96) for _ in range(120)]
+    repeated = [
+        f"T{1000 + i % 40} handler state: {values[rng.randrange(120)]} ok"
+        for i in range(lines_per_spec)
+    ]
+    archives = 3
+    offline_bytes = 0
+    for _ in range(archives):
+        _, report = archive_offline(_build_loggrep(repeated))
+        offline_bytes += report.offline_bytes
+    shared = SharedTemplateStore(MemoryStore())
+    shared_bytes = 0
+    for _ in range(archives):
+        lg = _build_loggrep(repeated)
+        LifecycleManager(lg.store, lg.config, shared=shared).demote(Tier.COLD)
+        shared_bytes += lg.storage_bytes()
+    shared_bytes += shared.total_bytes()
+
+    # --- tail grep ≡ post-flush grep ------------------------------------
+    with StreamingCompressor(
+        config=LogGrepConfig(block_bytes=8 * 1024)
+    ) as stream:
+        reader = stream.open_reader(tail=True)
+        stream.extend(lines)
+        tail_result = reader.grep(spec.query)
+        stream.flush()
+        sealed_result = stream.open_reader().grep(spec.query)
+        tail_equiv = (
+            tail_result.lines == sealed_result.lines
+            and tail_result.line_ids == sealed_result.line_ids
+        )
+
+    return {
+        "dataset": spec.name,
+        "query": spec.query,
+        "parse_ms": round(parse_s * 1000, 3),
+        "visible_ms": round(tail_s * 1000, 3),
+        "visible_over_parse": round(tail_s / parse_s, 3),
+        "parse_over_visible": round(parse_s / max(1e-9, tail_s), 3),
+        "archives": archives,
+        "offline_bytes": offline_bytes,
+        "shared_bytes": shared_bytes,
+        "shared_over_offline_bytes": round(
+            shared_bytes / max(1, offline_bytes), 3
+        ),
+        "offline_over_shared_bytes": round(
+            offline_bytes / max(1, shared_bytes), 3
+        ),
+        "tail_hits": tail_result.count,
+        "tail_equiv": tail_equiv,
+    }
+
+
 def gated_metrics(results):
     """The dimensionless higher-is-better ratios compared vs baseline."""
     out = {}
@@ -372,6 +486,13 @@ def gated_metrics(results):
     out["cluster/speedup_1_to_4"] = results["cluster"]["speedup_1_to_4"]
     out["cluster/line_over_partial_bytes"] = results["cluster"][
         "line_over_partial_bytes"
+    ]
+    # parse_over_visible is deliberately NOT a baseline-gated ratio: both
+    # sides are millisecond-scale timings, so the ±25% band flaps on a
+    # loaded runner.  The hard bar (visible ≤ 1.2x parse, checked in
+    # main()) is the acceptance criterion and has real margin.
+    out["lifecycle/offline_over_shared_bytes"] = results["lifecycle"][
+        "offline_over_shared_bytes"
     ]
     return out
 
@@ -413,8 +534,8 @@ def main(argv=None):
         help="max ledger-on/ledger-off latency ratio (default: 1.03)",
     )
     parser.add_argument(
-        "--out", default=os.path.join(REPO, "BENCH_PR8.json"),
-        help="result ledger path (default: BENCH_PR8.json at the repo root)",
+        "--out", default=os.path.join(REPO, "BENCH_PR9.json"),
+        help="result ledger path (default: BENCH_PR9.json at the repo root)",
     )
     parser.add_argument(
         "--agg-bytes-bar", type=float, default=0.25,
@@ -438,6 +559,15 @@ def main(argv=None):
         "replica (default: 1.5)",
     )
     parser.add_argument(
+        "--visible-bar", type=float, default=1.2,
+        help="max tail-build/single-block-parse latency ratio (default: 1.2)",
+    )
+    parser.add_argument(
+        "--shared-bytes-bar", type=float, default=0.85,
+        help="max shared-cold/per-archive-offline bytes ratio on the "
+        "repeated-template workload (default: 0.85)",
+    )
+    parser.add_argument(
         "--baseline", default=os.path.join(HERE, "baseline.json"),
         help="checked-in baseline path (default: bench/baseline.json)",
     )
@@ -448,13 +578,14 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     results = {
-        "bench": "PR8 shard-parallel scatter/gather",
+        "bench": "PR9 hot tail + tiered lifecycle recompression",
         "lines_per_spec": args.lines,
         "rounds": args.rounds,
         "fig7": bench_fig7(args.lines, args.rounds),
         "lazy_io": bench_lazy_io(args.lines),
         "aggregation": bench_aggregation(args.lines, args.rounds),
         "cluster": bench_cluster(args.lines, args.rounds),
+        "lifecycle": bench_lifecycle(args.lines, args.rounds),
         # The overhead bar is the tightest gate (3%), so it gets triple
         # rounds: min-of-rounds on both sides needs the extra samples to
         # stay under the noise floor of shared CI runners.
@@ -510,6 +641,24 @@ def main(argv=None):
             f"cluster: hedged p99 is {cluster['hedged_over_clean_p99']:.2f}x "
             f"the no-straggler p99 (bar {args.cluster_hedge_bar:.1f}x) — "
             f"hedging is not hiding the +{cluster['straggle_ms']:.0f}ms replica"
+        )
+
+    lifecycle = results["lifecycle"]
+    if not lifecycle["tail_equiv"]:
+        failures.append(
+            "lifecycle: tail-inclusive grep diverges from the post-flush grep"
+        )
+    if lifecycle["visible_over_parse"] > args.visible_bar:
+        failures.append(
+            f"lifecycle: ingest-to-queryable is "
+            f"{lifecycle['visible_over_parse']:.2f}x a single-block parse "
+            f"(bar {args.visible_bar:.1f}x)"
+        )
+    if lifecycle["shared_over_offline_bytes"] > args.shared_bytes_bar:
+        failures.append(
+            f"lifecycle: shared cold storage is "
+            f"{lifecycle['shared_over_offline_bytes']:.1%} of per-archive "
+            f"offline bytes (bar {args.shared_bytes_bar:.0%})"
         )
 
     if args.update_baseline:

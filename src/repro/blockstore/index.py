@@ -259,17 +259,20 @@ class ArchiveIndex:
         return index
 
     @classmethod
-    def build(cls, store: object) -> "ArchiveIndex":
+    def build(cls, store: object, templates: object = None) -> "ArchiveIndex":
         """Rebuild the index from the blocks of *store* (legacy archives).
 
         Pays one full read per block — exactly what opening a legacy
         archive cost before; every later query then prunes for free.
+        *templates* is the resolver for shared-format (flag 0x01) boxes.
         """
         from ..capsule.box import CapsuleBox
 
         index = cls()
         for name in store.names():  # type: ignore[attr-defined]
-            box = CapsuleBox.deserialize(store.get(name))  # type: ignore[attr-defined]
+            box = CapsuleBox.deserialize(
+                store.get(name), templates=templates  # type: ignore[attr-defined]
+            )
             index.add(name, BlockSummary.from_box(box))
         return index
 

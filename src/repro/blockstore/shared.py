@@ -1,0 +1,315 @@
+"""Cross-archive shared template/dictionary store (the cold tier).
+
+The offline rewrite (``core/lifecycle.py``) recompresses every archive in
+isolation, so identical static patterns and identical nominal
+dictionaries — the overwhelmingly repetitive part of production logs
+(DeLog/Logzip's global pattern signatures, PAPERS.md) — are re-stored
+once *per archive*.  This module stores them once *globally*:
+
+* :class:`SharedTemplateStore` is a content-addressed blob store (its
+  own :class:`~repro.blockstore.store.ArchiveStore`, usually a separate
+  directory) holding two kinds of entries:
+
+  - ``tpl-<cid>`` — one template's token list, keyed by
+    :func:`~repro.staticparse.cache.template_signature` (the hash never
+    covers the per-archive ``template_id``);
+  - ``cap-<cid>`` — one nominal dictionary capsule's compressed payload,
+    keyed by the SHA-1 of the payload bytes.
+
+  Writes are idempotent: re-adding existing content is a dedup hit, not
+  a second copy.
+
+* :class:`TemplateResolver` is the read side: a box serialized with the
+  shared flag (``capsule/box.py`` flag bit 0x01) references content ids
+  instead of inline bytes, and the resolver maps them back — shared
+  store first, then the archive's own **fallback bank** (the
+  ``templates.lgtb`` aux blob, written by
+  :func:`write_bank` for portability), with an in-memory cache shared
+  across every box of the archive.
+
+The fallback bank makes a cold archive self-contained: export it and the
+archive ships with every template/dictionary it references, readable
+without the shared store.  It is written only on explicit export so the
+cross-archive dedup accounting stays honest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Dict, Optional, Tuple
+
+from ..common.binio import BinaryReader, BinaryWriter
+from ..common.errors import FormatError
+from ..obs.metrics import get_registry
+from ..staticparse.cache import TemplateKey, template_signature
+from ..staticparse.template import Template
+from .store import ArchiveStore, MemoryStore
+
+#: Auxiliary-blob name of the per-archive fallback bank.
+BANK_AUX_NAME = "templates.lgtb"
+BANK_MAGIC = b"LGTB"
+BANK_VERSION = 1
+
+_KIND_TEMPLATE = 0
+_KIND_PAYLOAD = 1
+
+_DEDUP_HITS = get_registry().counter(
+    "loggrep_shared_dedup_hits_total",
+    "Shared-store writes that found their content already stored, by kind",
+)
+_SHARED_ENTRIES = get_registry().gauge(
+    "loggrep_shared_store_entries",
+    "Entries currently in the shared template store, by kind",
+)
+
+
+def _tokens_blob(tokens) -> bytes:
+    writer = BinaryWriter()
+    writer.write_varint(len(tokens))
+    for token in tokens:
+        if token is None:
+            writer.write_u8(1)
+        else:
+            writer.write_u8(0)
+            writer.write_str(token)
+    return writer.getvalue()
+
+
+def _tokens_from_blob(data: bytes) -> TemplateKey:
+    reader = BinaryReader(data)
+    tokens = []
+    for _ in range(reader.read_varint()):
+        if reader.read_u8() == 1:
+            tokens.append(None)
+        else:
+            tokens.append(reader.read_str())
+    return tuple(tokens)
+
+
+def payload_signature(payload: bytes) -> str:
+    """Content id of one capsule payload (16 hex chars of SHA-1)."""
+    return hashlib.sha1(payload).hexdigest()[:16]
+
+
+class SharedTemplateStore:
+    """Content-addressed cross-archive template/dictionary storage."""
+
+    def __init__(self, store: Optional[ArchiveStore] = None):
+        self.store = store if store is not None else MemoryStore()
+        self._lock = threading.Lock()
+
+    # -- write side ----------------------------------------------------
+    def add_template(self, template: Template) -> str:
+        """Store one template's tokens; returns its content id."""
+        cid = template_signature(tuple(template.tokens))
+        name = f"tpl-{cid}"
+        with self._lock:
+            if self.store.exists(name):
+                _DEDUP_HITS.inc(kind="template")
+            else:
+                self.store.put(name, _tokens_blob(template.tokens))
+                self._publish_entries()
+        return cid
+
+    def add_payload(self, payload: bytes) -> str:
+        """Store one capsule payload; returns its content id."""
+        cid = payload_signature(payload)
+        name = f"cap-{cid}"
+        with self._lock:
+            if self.store.exists(name):
+                _DEDUP_HITS.inc(kind="payload")
+            else:
+                self.store.put(name, payload)
+                self._publish_entries()
+        return cid
+
+    # -- read side -----------------------------------------------------
+    def template_tokens(self, cid: str) -> Optional[TemplateKey]:
+        name = f"tpl-{cid}"
+        if not self.store.exists(name):
+            return None
+        return _tokens_from_blob(self.store.get(name))
+
+    def payload(self, cid: str) -> Optional[bytes]:
+        name = f"cap-{cid}"
+        if not self.store.exists(name):
+            return None
+        return self.store.get(name)
+
+    # -- accounting ----------------------------------------------------
+    def total_bytes(self) -> int:
+        """Stored bytes of the shared store — the cross-archive cost that
+        honest tier accounting amortizes over every referencing archive."""
+        return self.store.total_bytes()
+
+    def counts(self) -> Tuple[int, int]:
+        """(templates, payloads) currently stored."""
+        names = self.store.names()
+        templates = sum(1 for n in names if n.startswith("tpl-"))
+        return templates, len(names) - templates
+
+    def _publish_entries(self) -> None:
+        templates, payloads = self.counts()
+        _SHARED_ENTRIES.set(templates, kind="template")
+        _SHARED_ENTRIES.set(payloads, kind="payload")
+
+
+class TemplateResolver:
+    """Maps content ids in shared-format boxes back to bytes.
+
+    Resolution order: in-memory cache → shared store → the archive's own
+    fallback bank (``templates.lgtb``).  An id none of them know is a
+    :class:`FormatError` — the archive references content that was
+    neither shipped with it nor provided via ``--templates``.
+    """
+
+    def __init__(
+        self,
+        shared: Optional[SharedTemplateStore] = None,
+        archive: Optional[object] = None,
+    ):
+        self.shared = shared
+        self.archive = archive
+        self._templates: Dict[str, TemplateKey] = {}
+        self._payloads: Dict[str, bytes] = {}
+        self._bank_loaded = False
+        self._lock = threading.Lock()
+
+    def resolve_template(self, cid: str) -> TemplateKey:
+        with self._lock:
+            tokens = self._templates.get(cid)
+        if tokens is not None:
+            return tokens
+        if self.shared is not None:
+            tokens = self.shared.template_tokens(cid)
+        if tokens is None:
+            tokens = self._from_bank(self._load_bank()[0], cid)
+        if tokens is None:
+            raise FormatError(
+                f"unresolvable shared template {cid!r}: not in the shared "
+                "store or the archive's fallback bank (pass --templates, or "
+                "export the archive self-contained)"
+            )
+        with self._lock:
+            self._templates[cid] = tokens
+        return tokens
+
+    def resolve_payload(self, cid: str) -> bytes:
+        with self._lock:
+            payload = self._payloads.get(cid)
+        if payload is not None:
+            return payload
+        if self.shared is not None:
+            payload = self.shared.payload(cid)
+        if payload is None:
+            payload = self._from_bank(self._load_bank()[1], cid)
+        if payload is None:
+            raise FormatError(
+                f"unresolvable shared capsule payload {cid!r}: not in the "
+                "shared store or the archive's fallback bank"
+            )
+        with self._lock:
+            self._payloads[cid] = payload
+        return payload
+
+    @staticmethod
+    def _from_bank(bank: Dict[str, object], cid: str):
+        return bank.get(cid)
+
+    def _load_bank(self) -> Tuple[Dict[str, TemplateKey], Dict[str, bytes]]:
+        with self._lock:
+            if self._bank_loaded:
+                return self._bank_templates, self._bank_payloads
+            templates: Dict[str, TemplateKey] = {}
+            payloads: Dict[str, bytes] = {}
+            if self.archive is not None:
+                loaded = read_bank(self.archive)
+                if loaded is not None:
+                    templates, payloads = loaded
+            self._bank_templates = templates
+            self._bank_payloads = payloads
+            self._bank_loaded = True
+            return templates, payloads
+
+
+def as_resolver(
+    templates: Optional[object], archive: Optional[object] = None
+) -> TemplateResolver:
+    """Normalize what callers pass as ``templates`` into a resolver.
+
+    ``None`` still yields a resolver: a self-contained archive (bank
+    exported) must be readable with no shared store at hand.
+    """
+    if isinstance(templates, TemplateResolver):
+        return templates
+    if templates is None or isinstance(templates, SharedTemplateStore):
+        return TemplateResolver(templates, archive)
+    raise TypeError(
+        f"templates must be a TemplateResolver or SharedTemplateStore, "
+        f"got {type(templates).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# the per-archive fallback bank (portability)
+# ----------------------------------------------------------------------
+def write_bank(
+    archive: object,
+    templates: Dict[str, TemplateKey],
+    payloads: Dict[str, bytes],
+) -> int:
+    """Write the archive's fallback bank aux blob; returns its size.
+
+    After this, every shared reference the archive makes resolves from
+    the archive itself — it can be copied anywhere without the shared
+    store.  Bank bytes are an aux blob, so they do not count toward the
+    archive's stored bytes (the dedup accounting stays honest); exports
+    are the explicit opt-in to pay them.
+    """
+    writer = BinaryWriter()
+    writer.write_varint(len(templates) + len(payloads))
+    for cid in sorted(templates):
+        writer.write_u8(_KIND_TEMPLATE)
+        writer.write_str(cid)
+        writer.write_bytes(_tokens_blob(templates[cid]))
+    for cid in sorted(payloads):
+        writer.write_u8(_KIND_PAYLOAD)
+        writer.write_str(cid)
+        writer.write_bytes(payloads[cid])
+    data = BANK_MAGIC + bytes([BANK_VERSION]) + writer.getvalue()
+    archive.put_aux(BANK_AUX_NAME, data)  # type: ignore[attr-defined]
+    return len(data)
+
+
+def read_bank(
+    archive: object,
+) -> Optional[Tuple[Dict[str, TemplateKey], Dict[str, bytes]]]:
+    """Load the archive's fallback bank, or None when absent/corrupt."""
+    try:
+        if not archive.aux_exists(BANK_AUX_NAME):  # type: ignore[attr-defined]
+            return None
+        data = archive.get_aux(BANK_AUX_NAME)  # type: ignore[attr-defined]
+    except (AttributeError, OSError):
+        return None
+    if data[:4] != BANK_MAGIC or len(data) < 5 or data[4] != BANK_VERSION:
+        return None
+    try:
+        reader = BinaryReader(data[5:])
+        templates: Dict[str, TemplateKey] = {}
+        payloads: Dict[str, bytes] = {}
+        for _ in range(reader.read_varint()):
+            kind = reader.read_u8()
+            cid = reader.read_str()
+            blob = reader.read_bytes()
+            if kind == _KIND_TEMPLATE:
+                templates[cid] = _tokens_from_blob(blob)
+            elif kind == _KIND_PAYLOAD:
+                payloads[cid] = blob
+            else:
+                return None
+        return templates, payloads
+    except Exception:
+        # Derived data: a corrupt bank only degrades to "resolve from the
+        # shared store", never to a wrong result.
+        return None

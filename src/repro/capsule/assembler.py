@@ -53,6 +53,12 @@ class EncodingOptions:
     #: Speed-tier codec choice (zlib when LZMA's ratio edge is small);
     #: off by default so archives stay byte-identical to earlier versions.
     codec_speed_tier: bool = False
+    #: Emit permissive stamps instead of scanning every value's character
+    #: classes.  Permissive stamps admit everything, so they can never
+    #: cause a wrong skip — they only forgo stamp pruning.  Used by the
+    #: hot tail, whose tiny always-scanned block gains nothing from
+    #: stamps but pays their cost on the append→queryable latency path.
+    cheap_stamps: bool = False
 
 
 @dataclass
@@ -215,10 +221,13 @@ def _encode_nominal(
 
 
 def _pack(values: Sequence[str], options: EncodingOptions) -> Capsule:
+    stamp = CapsuleStamp.permissive() if options.cheap_stamps else None
     if options.use_padding:
         return Capsule.pack_fixed(
-            values, options.preset, speed_tier=options.codec_speed_tier
+            values, options.preset, stamp=stamp,
+            speed_tier=options.codec_speed_tier,
         )
     return Capsule.pack_variable(
-        values, options.preset, speed_tier=options.codec_speed_tier
+        values, options.preset, stamp=stamp,
+        speed_tier=options.codec_speed_tier,
     )

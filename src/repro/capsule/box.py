@@ -63,6 +63,14 @@ VERSION = 2
 #: Versions this reader understands.
 READABLE_VERSIONS = (1, 2)
 
+#: v2 flag bit 0x01: the box references cross-archive shared content —
+#: templates are stored as content ids and every capsule record carries a
+#: location byte (0 = inline payload exactly as today, 1 = shared payload
+#: by content id).  Reading such a box requires a
+#: :class:`~repro.blockstore.shared.TemplateResolver`.
+FLAG_SHARED_TEMPLATES = 0x01
+_KNOWN_FLAGS = FLAG_SHARED_TEMPLATES
+
 _V1_HEADER_LEN = 13
 _V2_HEADER_LEN = 32
 
@@ -83,6 +91,7 @@ class BoxTOC:
     meta_len: int
     payload_off: int
     payload_len: int
+    flags: int = 0
 
     @classmethod
     def read(cls, source: BlobSource) -> "BoxTOC":
@@ -120,7 +129,7 @@ class BoxTOC:
         head += source.read(_V1_HEADER_LEN, _V2_HEADER_LEN - _V1_HEADER_LEN)
         flags = head[5]
         header_len = int.from_bytes(head[6:8], "little")
-        if flags != 0:
+        if flags & ~_KNOWN_FLAGS:
             raise FormatError(f"unknown CapsuleBox flags 0x{flags:02x}")
         if header_len != _V2_HEADER_LEN:
             raise FormatError(f"bad CapsuleBox header length {header_len}")
@@ -142,7 +151,8 @@ class BoxTOC:
         if payload_off + payload_len != size:
             raise FormatError("CapsuleBox TOC: payload extent does not match blob size")
         return cls(
-            2, bloom_off, bloom_len, meta_off, meta_len, payload_off, payload_len
+            2, bloom_off, bloom_len, meta_off, meta_len, payload_off,
+            payload_len, flags,
         )
 
 
@@ -180,10 +190,20 @@ class CapsuleBox:
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
-    def serialize(self, version: int = VERSION) -> bytes:
-        """Serialize to *version* (2 by default; 1 for back-compat tests)."""
+    def serialize(self, version: int = VERSION, shared=None) -> bytes:
+        """Serialize to *version* (2 by default; 1 for back-compat tests).
+
+        With *shared* (a
+        :class:`~repro.blockstore.shared.SharedTemplateStore`) the box is
+        written in the flag-0x01 shared format: templates become content
+        ids, and nominal dictionary capsule payloads move into the shared
+        store — stored once globally, referenced here by id.  Without it
+        the output is byte-identical to earlier versions.
+        """
         if version not in READABLE_VERSIONS:
             raise FormatError(f"cannot serialize CapsuleBox version {version}")
+        if shared is not None and version != 2:
+            raise FormatError("shared-template boxes require format v2")
         # The Bloom filter sits uncompressed before the metadata section so
         # the bloom-only read path can prune a block without touching zlib.
         bloom_writer = BinaryWriter()
@@ -204,11 +224,11 @@ class CapsuleBox:
         writer.write_u8(1 if self.padded else 0)
         writer.write_varint(len(self.groups))
         for group in self.groups:
-            _write_template(writer, group.template)
+            _write_template(writer, group.template, shared)
             _write_line_ids(writer, group.line_ids)
             writer.write_varint(len(group.vectors))
             for vector in group.vectors:
-                _write_vector(writer, vector, blobs, offset)
+                _write_vector(writer, vector, blobs, offset, shared)
 
         meta = zlib.compress(writer.getvalue(), 6)
         payload = b"".join(blobs)
@@ -231,7 +251,8 @@ class CapsuleBox:
             + payload_off.to_bytes(4, "little")
             + len(payload).to_bytes(4, "little")
         )
-        return MAGIC + bytes([2, 0]) + toc + bloom_bytes + meta + payload
+        flags = FLAG_SHARED_TEMPLATES if shared is not None else 0
+        return MAGIC + bytes([2, flags]) + toc + bloom_bytes + meta + payload
 
     @classmethod
     def read_toc(cls, source: BlobSource) -> BoxTOC:
@@ -257,18 +278,30 @@ class CapsuleBox:
         return BloomFilter.read(reader)
 
     @classmethod
-    def deserialize(cls, data: bytes) -> "CapsuleBox":
+    def deserialize(cls, data: bytes, templates=None) -> "CapsuleBox":
         """Load a box from a fully-fetched blob (v1 or v2)."""
-        return cls.open(BytesBlobSource(data, "<box>"))
+        return cls.open(BytesBlobSource(data, "<box>"), templates)
 
     @classmethod
-    def open(cls, source: BlobSource) -> "CapsuleBox":
+    def open(cls, source: BlobSource, templates=None) -> "CapsuleBox":
         """Load a box through ranged reads: header + bloom + metadata only.
 
         Capsule payloads stay unfetched until first access; use
-        :meth:`prefetch` to batch the ones a plan will need.
+        :meth:`prefetch` to batch the ones a plan will need.  A box in
+        the shared format (flag 0x01) needs *templates* — a
+        :class:`~repro.blockstore.shared.TemplateResolver` — to map its
+        content ids back to template tokens and shared capsule payloads;
+        without one, opening it is a :class:`FormatError`.
         """
         toc = BoxTOC.read(source)
+        resolver = None
+        if toc.flags & FLAG_SHARED_TEMPLATES:
+            if templates is None:
+                raise FormatError(
+                    "shared-template CapsuleBox (flag 0x01) requires a "
+                    "template resolver to open"
+                )
+            resolver = templates
         bloom_reader = BinaryReader(source.read(toc.bloom_off, toc.bloom_len))
         bloom = BloomFilter.read(bloom_reader) if bloom_reader.read_u8() else None
         try:
@@ -283,10 +316,10 @@ class CapsuleBox:
         padded = reader.read_u8() == 1
         groups: List[GroupBox] = []
         for _ in range(reader.read_varint()):
-            template = _read_template(reader)
+            template = _read_template(reader, resolver)
             line_ids = _read_line_ids(reader)
             vectors = [
-                _read_vector(reader, source, toc)
+                _read_vector(reader, source, toc, resolver)
                 for _ in range(reader.read_varint())
             ]
             groups.append(GroupBox(template, line_ids, vectors))
@@ -409,8 +442,16 @@ def _capsules_of(vector: EncodedVector) -> List[Capsule]:
 # ----------------------------------------------------------------------
 # templates
 # ----------------------------------------------------------------------
-def _write_template(writer: BinaryWriter, template: Template) -> None:
+def _write_template(
+    writer: BinaryWriter, template: Template, shared=None
+) -> None:
     writer.write_varint(template.template_id)
+    if shared is not None:
+        # Shared format: the token list lives once in the shared store,
+        # referenced here by its content id (hash of the tokens alone —
+        # never the per-archive template_id).
+        writer.write_str(shared.add_template(template))
+        return
     writer.write_varint(len(template.tokens))
     for token in template.tokens:
         if token is None:
@@ -420,8 +461,11 @@ def _write_template(writer: BinaryWriter, template: Template) -> None:
             writer.write_str(token)
 
 
-def _read_template(reader: BinaryReader) -> Template:
+def _read_template(reader: BinaryReader, resolver=None) -> Template:
     template_id = reader.read_varint()
+    if resolver is not None:
+        cid = reader.read_str()
+        return Template(template_id, list(resolver.resolve_template(cid)))
     tokens: List[Optional[str]] = []
     for _ in range(reader.read_varint()):
         if reader.read_u8() == 1:
@@ -452,7 +496,12 @@ def _read_line_ids(reader: BinaryReader) -> List[int]:
 # capsules with out-of-band payloads
 # ----------------------------------------------------------------------
 def _write_capsule(
-    writer: BinaryWriter, capsule: Capsule, blobs: List[bytes], offset: List[int]
+    writer: BinaryWriter,
+    capsule: Capsule,
+    blobs: List[bytes],
+    offset: List[int],
+    shared=None,
+    externalize: bool = False,
 ) -> None:
     writer.write_u8(capsule.layout)
     writer.write_varint(capsule.width)
@@ -460,6 +509,17 @@ def _write_capsule(
     capsule.stamp.write(writer)
     writer.write_u8(capsule.codec)
     writer.write_u8(capsule.preset)
+    if shared is not None:
+        # Shared format: a location byte on every capsule record — 0 is
+        # the inline layout below, 1 replaces (offset, length) with the
+        # payload's content id in the shared store.
+        if externalize:
+            writer.write_u8(1)
+            writer.write_str(shared.add_payload(capsule.payload))
+            writer.write_varint(len(capsule.payload))
+            writer.write_u32(zlib.crc32(capsule.payload))
+            return
+        writer.write_u8(0)
     writer.write_varint(offset[0])
     writer.write_varint(len(capsule.payload))
     # Payloads sit outside the zlib'd (self-checking) metadata stream, so
@@ -470,13 +530,30 @@ def _write_capsule(
     offset[0] += len(capsule.payload)
 
 
-def _read_capsule(reader: BinaryReader, source: BlobSource, toc: BoxTOC) -> Capsule:
+def _read_capsule(
+    reader: BinaryReader, source: BlobSource, toc: BoxTOC, resolver=None
+) -> Capsule:
     layout = reader.read_u8()
     width = reader.read_varint()
     count = reader.read_varint()
     stamp = CapsuleStamp.read(reader)
     codec = reader.read_u8()
     preset = reader.read_u8()
+    if resolver is not None and reader.read_u8() == 1:
+        cid = reader.read_str()
+        length = reader.read_varint()
+        crc = reader.read_u32()
+        payload = resolver.resolve_payload(cid)
+        if len(payload) != length:
+            raise FormatError(
+                f"shared capsule payload {cid!r}: stored length "
+                f"{len(payload)} != referenced length {length}"
+            )
+        capsule = Capsule(
+            layout, width, count, stamp, codec, preset, payload=payload
+        )
+        capsule.expected_crc = crc
+        return capsule
     off = reader.read_varint()
     length = reader.read_varint()
     crc = reader.read_u32()
@@ -500,17 +577,18 @@ def _write_vector(
     vector: EncodedVector,
     blobs: List[bytes],
     offset: List[int],
+    shared=None,
 ) -> None:
     writer.write_u8(vector.tag)
     if isinstance(vector, RealEncodedVector):
         vector.pattern.write(writer)
         writer.write_varint(len(vector.subvar_capsules))
         for capsule in vector.subvar_capsules:
-            _write_capsule(writer, capsule, blobs, offset)
+            _write_capsule(writer, capsule, blobs, offset, shared)
         if vector.outlier_capsule is not None:
             writer.write_u8(1)
             _write_line_ids(writer, vector.outlier_rows)
-            _write_capsule(writer, vector.outlier_capsule, blobs, offset)
+            _write_capsule(writer, vector.outlier_capsule, blobs, offset, shared)
         else:
             writer.write_u8(0)
         writer.write_varint(vector.num_rows)
@@ -522,31 +600,38 @@ def _write_vector(
             writer.write_varint(dp.width)
             writer.write_u32_list(dp.subvar_masks)
             writer.write_u32_list(dp.subvar_maxlens)
-        _write_capsule(writer, vector.dict_capsule, blobs, offset)
-        _write_capsule(writer, vector.index_capsule, blobs, offset)
+        # Only the nominal dictionary is externalized: dictionaries hold
+        # the repeated variable *values* (cross-archive redundancy);
+        # index/REAL/PLAIN capsules are per-archive row data and stay
+        # inline where ranged reads reach them.
+        _write_capsule(writer, vector.dict_capsule, blobs, offset, shared,
+                       externalize=shared is not None)
+        _write_capsule(writer, vector.index_capsule, blobs, offset, shared)
         writer.write_varint(vector.index_width)
         writer.write_varint(vector.num_rows)
         writer.write_varint(vector.dict_size)
     elif isinstance(vector, PlainEncodedVector):
-        _write_capsule(writer, vector.capsule, blobs, offset)
+        _write_capsule(writer, vector.capsule, blobs, offset, shared)
         writer.write_varint(vector.num_rows)
     else:  # pragma: no cover - exhaustive over EncodedVector
         raise FormatError(f"unknown vector type {type(vector)!r}")
 
 
-def _read_vector(reader: BinaryReader, source: BlobSource, toc: BoxTOC) -> EncodedVector:
+def _read_vector(
+    reader: BinaryReader, source: BlobSource, toc: BoxTOC, resolver=None
+) -> EncodedVector:
     tag = reader.read_u8()
     if tag == ENC_REAL:
         pattern = RuntimePattern.read(reader)
         subvar_capsules = [
-            _read_capsule(reader, source, toc)
+            _read_capsule(reader, source, toc, resolver)
             for _ in range(reader.read_varint())
         ]
         outlier_capsule = None
         outlier_rows: List[int] = []
         if reader.read_u8() == 1:
             outlier_rows = _read_line_ids(reader)
-            outlier_capsule = _read_capsule(reader, source, toc)
+            outlier_capsule = _read_capsule(reader, source, toc, resolver)
         num_rows = reader.read_varint()
         return RealEncodedVector(
             pattern, subvar_capsules, outlier_capsule, outlier_rows, num_rows
@@ -560,8 +645,8 @@ def _read_vector(reader: BinaryReader, source: BlobSource, toc: BoxTOC) -> Encod
             masks = reader.read_u32_list()
             maxlens = reader.read_u32_list()
             dict_patterns.append(DictPattern(pattern, count, width, masks, maxlens))
-        dict_capsule = _read_capsule(reader, source, toc)
-        index_capsule = _read_capsule(reader, source, toc)
+        dict_capsule = _read_capsule(reader, source, toc, resolver)
+        index_capsule = _read_capsule(reader, source, toc, resolver)
         index_width = reader.read_varint()
         num_rows = reader.read_varint()
         dict_size = reader.read_varint()
@@ -569,7 +654,7 @@ def _read_vector(reader: BinaryReader, source: BlobSource, toc: BoxTOC) -> Encod
             dict_patterns, dict_capsule, index_capsule, index_width, num_rows, dict_size
         )
     if tag == ENC_PLAIN:
-        capsule = _read_capsule(reader, source, toc)
+        capsule = _read_capsule(reader, source, toc, resolver)
         num_rows = reader.read_varint()
         return PlainEncodedVector(capsule, num_rows)
     raise FormatError(f"unknown encoded-vector tag {tag}")

@@ -424,6 +424,14 @@ def _choose_codec(
     """
     if len(buf) < 32:
         return CODEC_RAW, buf
+    if speed_tier and preset == 0:
+        # Preset 0 on the speed tier means the caller wants the bytes
+        # queryable *now* (the hot tail): paying an LZMA probe just to
+        # discard it would roughly double the encode latency.
+        payload = zlib.compress(buf, 1)
+        if len(payload) >= len(buf):
+            return CODEC_RAW, buf
+        return CODEC_ZLIB, payload
     lzma_payload = _lzma_compress(buf, preset)
     codec, payload = CODEC_LZMA, lzma_payload
     if speed_tier:

@@ -52,6 +52,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker pool kind for -j: threads overlap LZMA, processes "
         "sidestep the GIL for the encoding loops (default: thread)",
     )
+    compress.add_argument(
+        "--tier", choices=("hot", "warm", "cold"), default=None,
+        help="compress at a lifecycle tier's config: hot = speed-tier "
+        "codec, warm = archive default, cold = offline preset with 4x "
+        "merged blocks",
+    )
 
     grep = sub.add_parser("grep", help="query a compressed archive")
     grep.add_argument("query", help='e.g. "ERROR AND dst:11.8.* NOT state:503"')
@@ -104,6 +110,12 @@ def _build_parser() -> argparse.ArgumentParser:
     grep.add_argument(
         "--to", dest="to_time", metavar="TIME",
         help="end of the time window (same formats as --from)",
+    )
+    grep.add_argument(
+        "--templates", metavar="DIR",
+        help="shared template store directory (needed to read cold-tier "
+        "archives that were demoted with cross-archive dedup and not "
+        "exported self-contained)",
     )
 
     stats = sub.add_parser("stats", help="show archive statistics")
@@ -174,6 +186,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "print the per-operator table to stderr",
     )
     agg.add_argument("--json", action="store_true", help="emit the result as JSON")
+    agg.add_argument(
+        "--templates", metavar="DIR",
+        help="shared template store directory (see grep --templates)",
+    )
+
+    lifecycle = sub.add_parser(
+        "lifecycle",
+        help="tier state machine: inspect and demote blocks between "
+        "hot/warm/cold",
+    )
+    lsub = lifecycle.add_subparsers(dest="lifecycle_command", required=True)
+    lstatus = lsub.add_parser(
+        "status", help="per-tier block and byte accounting of an archive"
+    )
+    lstatus.add_argument("-a", "--archive", required=True, help="archive directory")
+    lstatus.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    ldemote = lsub.add_parser(
+        "demote",
+        help="rewrite the eligible block prefix at a colder tier's config "
+        "(cold merges blocks and rewrites the prune-index sidecar)",
+    )
+    ldemote.add_argument("-a", "--archive", required=True, help="archive directory")
+    ldemote.add_argument(
+        "--tier", choices=("warm", "cold"), required=True,
+        help="target tier",
+    )
+    ldemote.add_argument(
+        "--older-than", default="0s", metavar="AGE",
+        help="age cutoff: seconds or <number><s|m|h|d|w>, e.g. 30d "
+        "(default 0s = everything; blocks with no parseable timestamps "
+        "are treated as eligible)",
+    )
+    ldemote.add_argument(
+        "--templates", metavar="DIR",
+        help="shared template store directory: cold rewrites deduplicate "
+        "templates/dictionaries into it across archives",
+    )
+    ldemote.add_argument(
+        "--self-contained", action="store_true",
+        help="export the fallback bank after demotion so the archive "
+        "reads without the shared store",
+    )
 
     explain = sub.add_parser("explain", help="show the query plan (stamp/pattern decisions)")
     explain.add_argument("query", help="query command to plan")
@@ -253,9 +307,26 @@ def _parse_window(args) -> tuple:
     return tuple(window)
 
 
-def _open(archive: str, **config_overrides) -> LogGrep:
+def _shared_store(path: Optional[str]):
+    if path is None:
+        return None
+    from .blockstore.shared import SharedTemplateStore
+
+    return SharedTemplateStore(ArchiveStore(path))
+
+
+def _open(
+    archive: str,
+    templates: Optional[str] = None,
+    config: Optional[LogGrepConfig] = None,
+    **config_overrides,
+) -> LogGrep:
     store = ArchiveStore(archive)
-    lg = LogGrep(store=store, config=LogGrepConfig(**config_overrides))
+    lg = LogGrep(
+        store=store,
+        config=config or LogGrepConfig(**config_overrides),
+        templates=_shared_store(templates),
+    )
     # Resume block numbering after existing archives.
     existing = store.names()
     lg._next_block_id = len(existing)
@@ -271,7 +342,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             overrides["compress_parallelism"] = args.parallelism
         if args.executor is not None:
             overrides["compress_executor"] = args.executor
-        lg = _open(args.archive, **overrides)
+        config = LogGrepConfig(**overrides)
+        if args.tier is not None:
+            from .core.lifecycle import Tier, tier_config
+
+            config = tier_config(Tier(args.tier), config)
+        lg = _open(args.archive, config=config)
         with open(args.input, "r", encoding="utf-8", errors="replace") as fh:
             lines = fh.read().split("\n")
         if lines and lines[-1] == "":
@@ -294,7 +370,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             overrides["store_mmap"] = True
         from .common.errors import BudgetExceeded
 
-        lg = _open(args.archive, **overrides)
+        lg = _open(args.archive, templates=args.templates, **overrides)
         tracing_wanted = args.trace or args.trace_out is not None
         from_time, to_time = _parse_window(args)
         if args.analyze and (from_time is not None or to_time is not None):
@@ -382,12 +458,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "stats":
         store = ArchiveStore(args.archive)
+        from .blockstore.shared import as_resolver
         from .capsule.box import CapsuleBox
 
+        resolver = as_resolver(None, store)
         blocks = []
         total = 0
         for name in store.names():
-            box = CapsuleBox.deserialize(store.get(name))
+            box = CapsuleBox.deserialize(store.get(name), templates=resolver)
             total += box.num_lines
             blocks.append(
                 {
@@ -441,14 +519,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "verify":
+        from .blockstore.shared import as_resolver
         from .capsule.box import CapsuleBox
         from .common.errors import ReproError
 
         store = ArchiveStore(args.archive)
+        resolver = as_resolver(None, store)
         bad = 0
         for name in store.names():
             try:
-                problems = CapsuleBox.deserialize(store.get(name)).verify()
+                problems = CapsuleBox.deserialize(
+                    store.get(name), templates=resolver
+                ).verify()
             except ReproError as exc:
                 problems = [str(exc)]
             if problems:
@@ -495,7 +577,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"loggrep: agg {args.kind} requires a FIELD", file=sys.stderr)
             return 2
 
-        lg = _open(args.archive, query_parallelism=args.parallelism)
+        lg = _open(
+            args.archive,
+            templates=args.templates,
+            query_parallelism=args.parallelism,
+        )
         if args.kind == "timeseries":
             total = lg.total_lines()
             if total == 0 or args.buckets <= 0:
@@ -551,6 +637,59 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"{count:8d}  {value}")
         if args.analyze and report:
             print(report, file=sys.stderr)
+        return 0
+
+    if args.command == "lifecycle":
+        from .core.lifecycle import LifecycleManager, Tier
+
+        store = ArchiveStore(args.archive)
+        if args.lifecycle_command == "status":
+            mgr = LifecycleManager(store, LogGrepConfig())
+            status = mgr.status()
+            if args.json:
+                doc = {
+                    tier.value: {
+                        "blocks": status.blocks[tier],
+                        "bytes": status.bytes[tier],
+                    }
+                    for tier in Tier
+                }
+                print(json.dumps(doc, indent=2))
+            else:
+                for tier in Tier:
+                    print(
+                        f"{tier.value:5s}: {status.blocks[tier]:5d} block(s), "
+                        f"{status.bytes[tier]} bytes"
+                    )
+                print(
+                    f"total: {status.total_blocks():5d} block(s), "
+                    f"{status.total_bytes()} bytes"
+                )
+            return 0
+
+        # demote
+        from .common.timeparse import parse_age_arg
+
+        try:
+            age = parse_age_arg(args.older_than)
+        except ValueError as exc:
+            print(f"loggrep: {exc}", file=sys.stderr)
+            return 2
+        mgr = LifecycleManager(
+            store, LogGrepConfig(), shared=_shared_store(args.templates)
+        )
+        report = mgr.demote(Tier(args.tier), older_than_seconds=age)
+        print(
+            f"demoted to {report.tier.value}: "
+            f"{report.blocks_before} -> {report.blocks_after} block(s), "
+            f"{report.bytes_before} -> {report.bytes_after} bytes "
+            f"({report.ratio_gain:.2f}x) in {report.rewrite_seconds:.2f}s"
+        )
+        if report.shared_bytes:
+            print(f"shared store: {report.shared_bytes} bytes (cross-archive)")
+        if args.self_contained:
+            size = mgr.export_bank()
+            print(f"fallback bank exported: {size} bytes")
         return 0
 
     if args.command == "cluster":

@@ -80,3 +80,32 @@ def parse_time_arg(text: str) -> float:
             "YYYY-MM-DD HH:MM:SS)"
         )
     return ts
+
+
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+def parse_age_arg(text: str) -> float:
+    """A CLI age: seconds, or a number with an s/m/h/d/w suffix.
+
+    ``"30d"`` → 30 days, ``"12h"`` → 12 hours, ``"45m"`` → 45 minutes,
+    ``"3600"`` and ``"3600s"`` → 3600 seconds.  Used by the lifecycle
+    ``--older-than`` arguments.
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty age")
+    unit = 1.0
+    number = text
+    if text[-1].lower() in _AGE_UNITS:
+        unit = _AGE_UNITS[text[-1].lower()]
+        number = text[:-1]
+    try:
+        value = float(number)
+    except ValueError:
+        raise ValueError(
+            f"unrecognized age {text!r} (want seconds or <number><s|m|h|d|w>)"
+        ) from None
+    if value < 0:
+        raise ValueError(f"age must be non-negative, got {text!r}")
+    return value * unit

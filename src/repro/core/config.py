@@ -102,6 +102,12 @@ class LogGrepConfig:
     # at a small ratio cost.  Off by default so archives stay byte-
     # identical to earlier versions.
     codec_speed_tier: bool = False
+    # Emit permissive Capsule stamps instead of scanning every value's
+    # character classes.  Permissive stamps admit everything — they can
+    # never cause a wrong skip, only forgo stamp pruning.  The hot tail
+    # turns this on: its single in-memory block is always scanned anyway,
+    # and stamp computation would sit on the append→queryable latency.
+    cheap_stamps: bool = False
 
     # -- archive I/O -------------------------------------------------------
     # Lazy I/O: load boxes through ranged reads (header + bloom + metadata)
@@ -165,6 +171,7 @@ class LogGrepConfig:
             preset=self.preset,
             seed=self.seed if seed is None else seed,
             codec_speed_tier=self.codec_speed_tier,
+            cheap_stamps=self.cheap_stamps,
         )
 
     def query_settings(self) -> QuerySettings:

@@ -116,8 +116,18 @@ class LogGrep:
 
     store: ArchiveStore = field(default_factory=MemoryStore)
     config: LogGrepConfig = field(default_factory=LogGrepConfig)
+    #: Shared-template source for cold-tier archives: a
+    #: :class:`~repro.blockstore.shared.SharedTemplateStore` (or a
+    #: prebuilt resolver).  ``None`` still resolves self-contained
+    #: archives through their own fallback bank.
+    templates: Optional[object] = None
+    #: A prebuilt prune index (lifecycle rewrites pass theirs through so
+    #: a fresh open does not rebuild what they just computed).
+    prune_index: Optional[ArchiveIndex] = None
 
     def __post_init__(self) -> None:
+        from ..blockstore.shared import as_resolver
+
         self.cache = QueryCache(self.config.cache_capacity)
         self.compress_seconds = 0.0
         self.raw_bytes = 0
@@ -132,11 +142,20 @@ class LogGrep:
         get_value_cache().set_capacity(self.config.value_cache_values)
         if self.config.store_mmap and hasattr(self.store, "enable_mmap"):
             self.store.enable_mmap()
+        # One resolver per archive: the shared store (when given) plus the
+        # archive's own fallback bank, with a cross-box memo cache.
+        self._resolver = as_resolver(self.templates, self.store)
         # Load the prune-index sidecar once (rebuilding it for legacy
         # archives that predate it); compression keeps it current.
-        self._index = self._load_or_build_index()
+        self._index = (
+            self.prune_index
+            if self.prune_index is not None
+            else self._load_or_build_index()
+        )
         self._executor = QueryExecutor(
-            StoreBoxSource(self.store, self._box_cache, self._index),
+            StoreBoxSource(
+                self.store, self._box_cache, self._index, self._resolver
+            ),
             self.config,
             self.cache,
         )
@@ -150,7 +169,7 @@ class LogGrep:
         if self.store.names():
             # Legacy archive: pay one full pass now so every later query
             # prunes without touching the store.
-            index = ArchiveIndex.build(self.store)
+            index = ArchiveIndex.build(self.store, self._resolver)
             if hasattr(self.store, "put_aux"):
                 save_index(self.store, index)
             return index
@@ -427,6 +446,9 @@ class LogGrep:
         Answered from the prune-index summaries when loaded — zero store
         reads — falling back to box metadata (header-only under lazy I/O).
         """
+        hint = getattr(self._executor.source, "total_lines_hint", None)
+        if hint is not None:
+            return hint()
         if self._next_line_id:
             return self._next_line_id
         best = 0

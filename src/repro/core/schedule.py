@@ -37,7 +37,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Deque, NamedTuple, Optional, Tuple, Union
+from typing import Callable, Deque, List, NamedTuple, Optional, Tuple, Union
 
 from ..blockstore.block import LogBlock, block_name
 from ..blockstore.index import ArchiveIndex, BlockSummary, save_index
@@ -226,6 +226,16 @@ class CompressionScheduler:
     def backlog(self) -> int:
         """Blocks submitted but not yet committed to the store."""
         return len(self._pending)
+
+    def pending_blocks(self) -> List[LogBlock]:
+        """The raw blocks submitted but not yet committed, oldest first.
+
+        The hot-tail query path folds these into the tail snapshot: a
+        line is in exactly one of (committed store, pending block, append
+        buffer) at any instant, so the union is complete and duplicate-
+        free across the seal race.
+        """
+        return [pending.block for pending in self._pending]
 
     # ------------------------------------------------------------------
     # lifecycle

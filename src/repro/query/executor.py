@@ -167,10 +167,14 @@ class StoreBoxSource:
         store: object,
         box_cache: Optional[BoxCache] = None,
         index: Optional[ArchiveIndex] = None,
+        templates: object = None,
     ):
         self.store = store
         self.box_cache = box_cache
         self.index = index
+        #: Resolver for shared-format (flag 0x01) boxes; None for archives
+        #: that are fully inline.
+        self.templates = templates
         self._ranged = hasattr(store, "get_range") and hasattr(store, "size")
 
     def names(self) -> List[str]:
@@ -752,16 +756,17 @@ class QueryExecutor:
     def _open_box(self, name: str, data: Optional[bytes] = None) -> CapsuleBox:
         """Open one box: lazily through ranged reads when configured and
         supported, else from the whole blob."""
+        templates = getattr(self.source, "templates", None)
         if data is not None:
-            return CapsuleBox.deserialize(data)
+            return CapsuleBox.deserialize(data, templates=templates)
         blob = (
             self.source.blob(name)
             if getattr(self.config, "lazy_io", True)
             else None
         )
         if blob is not None:
-            return CapsuleBox.open(blob)
-        return CapsuleBox.deserialize(self.source.raw(name))
+            return CapsuleBox.open(blob, templates=templates)
+        return CapsuleBox.deserialize(self.source.raw(name), templates=templates)
 
     def load_box(self, name: str, pin: bool = False) -> CapsuleBox:
         """Load (or reuse) one block's box outside a query.
