@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""PR-9 benchmark regression ledger.
+"""PR-10 benchmark regression ledger.
 
-Runs the micro-benches and writes a ``BENCH_PR9.json`` regression ledger:
+Runs the micro-benches and writes a ``BENCH_PR10.json`` regression ledger:
 
 * **Fig-7 grep latency** — LogGrep vs gzip+grep on the Table-1 query of a
   few representative datasets.  The gated metric is the dimensionless
@@ -23,6 +23,14 @@ Runs the micro-benches and writes a ``BENCH_PR9.json`` regression ledger:
   ≤ 30 % of the bytes line-shipping would; and with one replica straggling
   +200 ms per RPC, hedged-read p99 must stay within 1.5x of the
   no-straggler p99 (the un-hedged tail is recorded alongside).
+
+* **Shared-scan batching** (PR-10) — three hard-gated bars on the batch
+  executor and the predicate-fragment cache: eight concurrent Table-1
+  queries over one Log A archive must read ≤ 40 % of the bytes and take
+  ≤ 60 % of the wall time that running them sequentially does, a warm
+  fragment-cache repeat of the selective query must be ≥ 3x faster than
+  the cold first run, and the batched per-query hit counts must equal the
+  sequential counts exactly.
 
 * **Lifecycle** (PR-9) — three hard-gated bars on the hot tail and the
   tier engine: ingest-to-queryable latency (building the in-memory tail
@@ -472,6 +480,103 @@ def bench_lifecycle(lines_per_spec, rounds):
     }
 
 
+def bench_batch(lines_per_spec, rounds):
+    """PR-10 shared-scan bars: a batch of 8 concurrent Table-1 queries
+    over one Log A archive vs running the same 8 sequentially, plus the
+    warm fragment-cache repeat of the selective incident query.
+
+    Bytes are exactly reproducible (range-read counter deltas); the wall
+    times are min-of-rounds with a fresh handle per round so neither side
+    inherits the other's warm caches.
+    """
+    spec = spec_by_name("Log A")
+    lines = spec.generate(lines_per_spec)
+    store = MemoryStore()
+    LogGrep(
+        store=store, config=LogGrepConfig(block_bytes=BLOCK_BYTES)
+    ).compress(lines)
+    # Eight concurrent Table-1-style queries an incident triage fans out:
+    # the headline query plus selective refinements over the same fields,
+    # so most of the per-query cost is the shared block work (prune,
+    # load, locate) rather than reconstruction both sides pay alike.
+    queries = [
+        spec.query,
+        "ERROR and state:REQ_ST_CLOSED",
+        "ERROR and code:20012",
+        "reqId:5E9D21AD5E473938",
+        "WARNING and state:REQ_ST_ABORT",
+        "ERROR and state:REQ_ST_ABORT",
+        "ERROR and accept conn",
+        "WARNING and code:20012",
+    ]
+    range_counter = get_registry().counter(
+        "loggrep_store_range_read_bytes_total"
+    )
+    loads_counter = get_registry().counter(
+        "loggrep_batch_shared_block_loads_total"
+    )
+
+    seq_s = batch_s = float("inf")
+    for _ in range(rounds):
+        seq_lg = LogGrep(
+            store=store, config=LogGrepConfig(block_bytes=BLOCK_BYTES)
+        )
+        before = range_counter.value()
+        start = time.perf_counter()
+        seq_hits = [seq_lg.grep(q).count for q in queries]
+        seq_s = min(seq_s, time.perf_counter() - start)
+        seq_bytes = int(range_counter.value() - before)
+
+        batch_lg = LogGrep(
+            store=store, config=LogGrepConfig(block_bytes=BLOCK_BYTES)
+        )
+        before = range_counter.value()
+        loads_before = loads_counter.value()
+        start = time.perf_counter()
+        results = batch_lg.grep_many(queries)
+        batch_s = min(batch_s, time.perf_counter() - start)
+        batch_bytes = int(range_counter.value() - before)
+        shared_loads = int(loads_counter.value() - loads_before)
+        batch_hits = [result.count for result in results]
+
+    # Warm fragment-cache repeat: the same selective query again on the
+    # same handle resolves every block from cached fragments (COUNT never
+    # reopens a box), vs the cold first run on a fresh handle.
+    cold_s = warm_s = float("inf")
+    for _ in range(rounds):
+        warm_lg = LogGrep(
+            store=store, config=LogGrepConfig(block_bytes=BLOCK_BYTES)
+        )
+        start = time.perf_counter()
+        cold_count = warm_lg.count_many([spec.query])[0]
+        cold_s = min(cold_s, time.perf_counter() - start)
+        for _ in range(3):
+            start = time.perf_counter()
+            warm_count = warm_lg.count_many([spec.query])[0]
+            warm_s = min(warm_s, time.perf_counter() - start)
+
+    return {
+        "dataset": spec.name,
+        "queries": len(queries),
+        "selective_query": spec.query,
+        "hits_equal": batch_hits == seq_hits,
+        "batch_hits": batch_hits,
+        "seq_bytes": seq_bytes,
+        "batch_bytes": batch_bytes,
+        "bytes_ratio": round(batch_bytes / max(1, seq_bytes), 3),
+        "seq_over_batch_bytes": round(seq_bytes / max(1, batch_bytes), 3),
+        "seq_ms": round(seq_s * 1000, 3),
+        "batch_ms": round(batch_s * 1000, 3),
+        "time_ratio": round(batch_s / max(1e-9, seq_s), 3),
+        "shared_block_loads": shared_loads,
+        "cold_count": cold_count,
+        "warm_count": warm_count,
+        "cold_ms": round(cold_s * 1000, 3),
+        "warm_ms": round(warm_s * 1000, 3),
+        "warm_speedup": round(cold_s / max(1e-9, warm_s), 3),
+    }
+
+
 def gated_metrics(results):
     """The dimensionless higher-is-better ratios compared vs baseline."""
     out = {}
@@ -493,6 +598,12 @@ def gated_metrics(results):
     # main()) is the acceptance criterion and has real margin.
     out["lifecycle/offline_over_shared_bytes"] = results["lifecycle"][
         "offline_over_shared_bytes"
+    ]
+    # warm_speedup and the batch time ratio are deliberately NOT
+    # baseline-gated for the same loaded-runner reason; the byte ratio is
+    # exact, so it travels.
+    out["batch/seq_over_batch_bytes"] = results["batch"][
+        "seq_over_batch_bytes"
     ]
     return out
 
@@ -534,8 +645,8 @@ def main(argv=None):
         help="max ledger-on/ledger-off latency ratio (default: 1.03)",
     )
     parser.add_argument(
-        "--out", default=os.path.join(REPO, "BENCH_PR9.json"),
-        help="result ledger path (default: BENCH_PR9.json at the repo root)",
+        "--out", default=os.path.join(REPO, "BENCH_PR10.json"),
+        help="result ledger path (default: BENCH_PR10.json at the repo root)",
     )
     parser.add_argument(
         "--agg-bytes-bar", type=float, default=0.25,
@@ -563,6 +674,21 @@ def main(argv=None):
         help="max tail-build/single-block-parse latency ratio (default: 1.2)",
     )
     parser.add_argument(
+        "--batch-bytes-bar", type=float, default=0.40,
+        help="max batched/sequential bytes ratio for the 8-query batch "
+        "(default: 0.40)",
+    )
+    parser.add_argument(
+        "--batch-time-bar", type=float, default=0.60,
+        help="max batched/sequential wall-time ratio for the 8-query "
+        "batch (default: 0.60)",
+    )
+    parser.add_argument(
+        "--warm-speedup-bar", type=float, default=3.0,
+        help="min cold/warm speedup for the fragment-cache repeat of the "
+        "selective query (default: 3.0)",
+    )
+    parser.add_argument(
         "--shared-bytes-bar", type=float, default=0.85,
         help="max shared-cold/per-archive-offline bytes ratio on the "
         "repeated-template workload (default: 0.85)",
@@ -578,7 +704,7 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     results = {
-        "bench": "PR9 hot tail + tiered lifecycle recompression",
+        "bench": "PR10 shared-scan batching + predicate-fragment cache",
         "lines_per_spec": args.lines,
         "rounds": args.rounds,
         "fig7": bench_fig7(args.lines, args.rounds),
@@ -586,6 +712,7 @@ def main(argv=None):
         "aggregation": bench_aggregation(args.lines, args.rounds),
         "cluster": bench_cluster(args.lines, args.rounds),
         "lifecycle": bench_lifecycle(args.lines, args.rounds),
+        "batch": bench_batch(args.lines, args.rounds),
         # The overhead bar is the tightest gate (3%), so it gets triple
         # rounds: min-of-rounds on both sides needs the extra samples to
         # stay under the noise floor of shared CI runners.
@@ -659,6 +786,28 @@ def main(argv=None):
             f"lifecycle: shared cold storage is "
             f"{lifecycle['shared_over_offline_bytes']:.1%} of per-archive "
             f"offline bytes (bar {args.shared_bytes_bar:.0%})"
+        )
+
+    batch = results["batch"]
+    if not batch["hits_equal"]:
+        failures.append(
+            "batch: batched per-query hit counts diverge from sequential"
+        )
+    if batch["bytes_ratio"] > args.batch_bytes_bar:
+        failures.append(
+            f"batch: batched execution read {batch['bytes_ratio']:.1%} of "
+            f"sequential bytes (bar {args.batch_bytes_bar:.0%})"
+        )
+    if batch["time_ratio"] > args.batch_time_bar:
+        failures.append(
+            f"batch: batched execution took {batch['time_ratio']:.1%} of "
+            f"sequential wall time (bar {args.batch_time_bar:.0%})"
+        )
+    if batch["warm_speedup"] < args.warm_speedup_bar:
+        failures.append(
+            f"batch: warm fragment-cache repeat is only "
+            f"{batch['warm_speedup']:.2f}x the cold run "
+            f"(bar {args.warm_speedup_bar:.1f}x)"
         )
 
     if args.update_baseline:

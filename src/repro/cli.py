@@ -60,7 +60,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     grep = sub.add_parser("grep", help="query a compressed archive")
-    grep.add_argument("query", help='e.g. "ERROR AND dst:11.8.* NOT state:503"')
+    grep.add_argument(
+        "query", nargs="?", default=None,
+        help='e.g. "ERROR AND dst:11.8.* NOT state:503"',
+    )
+    grep.add_argument(
+        "--batch-file", metavar="PATH",
+        help="run every query in PATH (one per line, # comments) as one "
+        "shared-scan batch: each block is opened once for all queries "
+        "and every distinct term is matched once; output is grouped per "
+        "query",
+    )
     grep.add_argument("-a", "--archive", required=True, help="archive directory")
     grep.add_argument("-c", "--count", action="store_true", help="print only the hit count")
     grep.add_argument("-i", "--ignore-case", action="store_true", help="case-insensitive match")
@@ -333,6 +343,44 @@ def _open(
     return lg
 
 
+def _run_grep_batch(lg, args, from_time, to_time) -> int:
+    """``grep --batch-file``: one shared-scan pass over many queries."""
+    with open(args.batch_file, "r", encoding="utf-8") as fh:
+        queries = [
+            line.strip()
+            for line in fh
+            if line.strip() and not line.lstrip().startswith("#")
+        ]
+    if not queries:
+        print("loggrep: batch file holds no queries", file=sys.stderr)
+        return 2
+    if args.count:
+        counts = lg.count_many(queries, ignore_case=args.ignore_case)
+        for query, count in zip(queries, counts):
+            print(f"{count}\t{query}")
+    else:
+        results = lg.grep_many(
+            queries,
+            ignore_case=args.ignore_case,
+            from_time=from_time,
+            to_time=to_time,
+        )
+        for query, result in zip(queries, results):
+            print(f"# query: {query} ({result.count} hit(s))")
+            for line in result.lines:
+                print(line)
+    if args.stats:
+        report = lg.last_batch_report
+        if report is not None:
+            print(
+                f"# batch: {report.queries} quer(ies) over {report.blocks} "
+                f"block(s) in {report.elapsed * 1000:.1f} ms; shared block "
+                f"loads: {report.shared_loads}",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -370,9 +418,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             overrides["store_mmap"] = True
         from .common.errors import BudgetExceeded
 
+        if (args.query is None) == (args.batch_file is None):
+            print(
+                "loggrep: grep needs a query or --batch-file (not both)",
+                file=sys.stderr,
+            )
+            return 2
         lg = _open(args.archive, templates=args.templates, **overrides)
         tracing_wanted = args.trace or args.trace_out is not None
         from_time, to_time = _parse_window(args)
+        if args.batch_file is not None:
+            return _run_grep_batch(lg, args, from_time, to_time)
         if args.analyze and (from_time is not None or to_time is not None):
             print(
                 "loggrep: note: --from/--to are ignored under --analyze",

@@ -391,6 +391,157 @@ class ClusterLogGrep:
             report=report.render() if analyze else "",
         )
 
+    def grep_many(
+        self,
+        commands: Sequence[str],
+        ignore_case: bool = False,
+        from_time: Optional[float] = None,
+        to_time: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[GrepResult]:
+        """Scatter one **multi-plan batch** per shard, gather per plan.
+
+        Equivalent to ``[self.grep(c) for c in commands]``, but each
+        replica serves all the plans from a single RPC through its
+        shared-scan pass: one LoadBox per block for the whole batch, one
+        prune decision and one Match per distinct term.  Gathers stay
+        rowset-shaped; reconstruction remains a per-plan bounded fetch
+        of exactly the kept rows.
+        """
+        commands = list(commands)
+        if not commands:
+            return []
+        tracer = get_tracer()
+        start = time.perf_counter()
+        plans = [
+            build_plan(
+                command, OutputMode.ROWS, ignore_case,
+                from_time=from_time, to_time=to_time,
+            )
+            for command in commands
+        ]
+        report = ClusterQueryReport(
+            "; ".join(commands), OutputMode.ROWS.value
+        )
+        for plan in plans:
+            _CLUSTER_QUERIES.inc(mode=plan.mode.value)
+        with tracer.span(
+            "cluster.query_batch", queries=len(plans)
+        ) as qspan:
+            with tracer.span("cluster.fan_out") as fan:
+                def locate(nid: str, task: ShardTask):
+                    with tracer.span(
+                        "cluster.query_block_batch",
+                        parent=fan,
+                        block=task.name,
+                        node=nid,
+                    ):
+                        return self.nodes[nid].query_block_batch(
+                            task.name, plans
+                        )
+
+                outcomes = self._scatter(
+                    self._shard_tasks(), locate, kind="rows"
+                )
+            report.add("rows", outcomes)
+            results: List[Optional[GrepResult]] = [None] * len(plans)
+            for pos, plan in enumerate(plans):
+                stats = QueryStats()
+                # Split each shard's batched payload back into per-plan
+                # pseudo-outcomes so the bounded fetch (and its warm-
+                # replica preference) is reused verbatim.  Wire bytes
+                # stay on the batched outcome — the split carries none.
+                per_plan = [
+                    dataclasses.replace(
+                        outcome,
+                        payload=outcome.payload[pos][0],
+                        count=outcome.payload[pos][1],
+                        stats=outcome.payload[pos][2],
+                        wire_bytes=0,
+                    )
+                    for outcome in outcomes
+                ]
+                total = 0
+                for outcome in per_plan:
+                    stats.merge(outcome.stats)
+                    total += outcome.count
+                entries = self._fetch_entries(
+                    plans[pos], per_plan, limit, stats, report
+                )
+                stats.entries_matched = total
+                elapsed = time.perf_counter() - start
+                stats.publish(elapsed)
+                results[pos] = GrepResult(
+                    [text for _, text in entries],
+                    [line_id for line_id, _ in entries],
+                    stats,
+                    elapsed,
+                )
+            qspan.set("blocks", len(outcomes))
+        report.elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.last_report = report
+        return [r for r in results if r is not None]
+
+    def aggregate_many(
+        self,
+        specs: Sequence[Tuple[AggregateSpec, Optional[str]]],
+        ignore_case: bool = False,
+        from_time: Optional[float] = None,
+        to_time: Optional[float] = None,
+    ) -> List[AggregateResult]:
+        """Run many ``(spec, where)`` aggregates in one scatter.
+
+        Each replica folds all the aggregate plans over one block open;
+        shards ship one list of compact partials per RPC, merged per
+        plan on the coordinator thread after the fan-out drains.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        start = time.perf_counter()
+        plans = [
+            build_aggregate_plan(
+                spec, where, ignore_case=ignore_case,
+                from_time=from_time, to_time=to_time,
+            )
+            for spec, where in specs
+        ]
+        for spec, _ in specs:
+            _CLUSTER_AGG_QUERIES.inc(kind=spec.kind.value)
+        outcomes = self._scatter(
+            self._shard_tasks(),
+            lambda nid, task: self.nodes[nid].query_block_batch(
+                task.name, plans
+            ),
+            kind="partial",
+        )
+        report = ClusterQueryReport(
+            "; ".join(where or "<all>" for _, where in specs),
+            OutputMode.AGGREGATE.value,
+        )
+        report.add("partial", outcomes)
+        elapsed = time.perf_counter() - start
+        results: List[AggregateResult] = []
+        for pos, (spec, _where) in enumerate(specs):
+            stats = QueryStats()
+            merged = make_partial(spec)
+            matched = 0
+            for outcome in outcomes:
+                payload, count, plan_stats = outcome.payload[pos]
+                stats.merge(plan_stats)
+                matched += count
+                if payload is not None:
+                    merged.merge(payload)
+                    _CLUSTER_AGG_PARTIALS.inc()
+            stats.entries_matched = matched
+            stats.publish(elapsed)
+            results.append(
+                AggregateResult(merged.finalize(spec), matched, stats, elapsed)
+            )
+        report.elapsed_ms = elapsed * 1000.0
+        self.last_report = report
+        return results
+
     def _fetch_entries(
         self,
         plan: QueryPlan,

@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..blockstore.block import LogBlock, block_name
 from ..blockstore.index import ArchiveIndex, BlockSummary
@@ -35,8 +35,10 @@ from ..core.compressor import compress_block
 from ..core.config import LogGrepConfig
 from ..obs.metrics import get_registry
 from ..query.aggregate import AggregatePartial
+from ..query.batch import BatchExecutor
 from ..query.engine import GroupRows
 from ..query.executor import Entry, QueryExecutor, StoreBoxSource
+from ..query.fragcache import FragmentCache
 from ..query.plan import OutputMode, QueryPlan
 from ..query.stats import QueryStats
 
@@ -79,6 +81,17 @@ class WorkerNode:
         # refining locality lives coordinator-side).
         self._executor = QueryExecutor(
             StoreBoxSource(self.store, index=self.index), self.config
+        )
+        # Shared-scan service: a multi-plan RPC opens each block once for
+        # every plan in the batch.  The fragment cache is node-local and
+        # keyed at generation 0 — replica stores never rewrite a block
+        # name in place, so the token never needs to move.
+        self._batch = BatchExecutor(
+            self._executor,
+            FragmentCache(
+                getattr(self.config, "fragment_cache_entries", None)
+                or 4096
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -189,6 +202,40 @@ class WorkerNode:
             else:
                 payload = outcome.entries
             return payload, outcome.count, stats
+
+    def query_block_batch(
+        self, name: str, plans: Sequence[QueryPlan]
+    ) -> Tuple[List[Tuple[object, int, QueryStats]], int, QueryStats]:
+        """Execute many pre-built plans over one local block in one RPC.
+
+        The shared-scan pass (:class:`~repro.query.batch.BatchExecutor`)
+        opens the block once, prunes each distinct term once and matches
+        it once for the whole batch, so a coordinator fanning out N
+        concurrent queries costs each replica one LoadBox instead of N.
+        Returns (per-plan ``(payload, count, stats)`` triples aligned
+        with *plans*, total hit count, shared engine stats).  Payload
+        shapes follow :meth:`query_block`/:meth:`aggregate_block`:
+        gathers stay rowset/partial-shaped, never raw lines.
+        """
+        with self._serve():
+            self.queries_served += 1
+            _NODE_QUERIES.inc(node=self.node_id)
+            outcomes, stats, shared = self._batch.run_block(name, plans)
+            per_plan: List[Tuple[object, int, QueryStats]] = []
+            total = 0
+            for plan, outcome, plan_stats in zip(plans, outcomes, stats):
+                payload: object
+                if plan.mode is OutputMode.ROWS:
+                    payload = outcome.rows if outcome.rows is not None else {}
+                elif plan.aggregate is not None:
+                    payload = outcome.partial
+                elif plan.mode is OutputMode.COUNT:
+                    payload = None
+                else:
+                    payload = outcome.entries
+                per_plan.append((payload, outcome.count, plan_stats))
+                total += outcome.count
+            return per_plan, total, shared
 
     def reconstruct_rows(
         self, name: str, rows: GroupRows

@@ -38,11 +38,28 @@ from ..query.aggregate import (
     NumericStats,
     make_partial,
 )
+from ..query.batch import (
+    BATCHABLE_MODES,
+    AdmissionQueue,
+    BatchExecutor,
+    BatchReport,
+)
 from ..query.cache import QueryCache, get_value_cache
-from ..query.executor import BoxCache, QueryExecutor, StoreBoxSource
+from ..query.executor import (
+    BoxCache,
+    ExecutionResult,
+    QueryExecutor,
+    StoreBoxSource,
+)
 from ..query.explain import render_analyze
+from ..query.fragcache import FragmentCache, bump_generation
 from ..query.modes import AggregateKind
-from ..query.plan import OutputMode, build_aggregate_plan, build_plan
+from ..query.plan import (
+    OutputMode,
+    QueryPlan,
+    build_aggregate_plan,
+    build_plan,
+)
 from ..query.stats import NULL_LEDGER, QueryLedger, QueryStats
 from ..staticparse.cache import TemplateCache
 from .config import LogGrepConfig
@@ -124,6 +141,11 @@ class LogGrep:
     #: A prebuilt prune index (lifecycle rewrites pass theirs through so
     #: a fresh open does not rebuild what they just computed).
     prune_index: Optional[ArchiveIndex] = None
+    #: Cross-query predicate-fragment cache.  Injectable so a service
+    #: can share one cache across handles of the same archive; entries
+    #: are keyed by archive generation, so sharing (or holding the cache
+    #: across a lifecycle demotion) can never serve stale rows.
+    fragments: Optional[FragmentCache] = None
 
     def __post_init__(self) -> None:
         from ..blockstore.shared import as_resolver
@@ -159,6 +181,25 @@ class LogGrep:
             self.config,
             self.cache,
         )
+        if self.fragments is None:
+            self.fragments = FragmentCache(self.config.fragment_cache_entries)
+        self._batch = BatchExecutor(self._executor, self.fragments)
+        #: The shared-cost accounting of the most recent grep_many/
+        #: aggregate_many batch (None before the first batch).
+        self.last_batch_report: Optional[BatchReport] = None
+
+    @property
+    def _executor(self) -> QueryExecutor:
+        return self.__dict__["_executor_instance"]
+
+    @_executor.setter
+    def _executor(self, executor: QueryExecutor) -> None:
+        # Rebuild the batch lane whenever the executor is swapped: the
+        # streaming tail reader replaces it with one whose source also
+        # serves the synthetic tail block, and a batch executor still
+        # pointed at the sealed-only source would silently miss it.
+        self.__dict__["_executor_instance"] = executor
+        self._batch = BatchExecutor(executor, getattr(self, "fragments", None))
 
     def _load_or_build_index(self) -> "ArchiveIndex | None":
         if not self.config.use_prune_index:
@@ -192,6 +233,9 @@ class LogGrep:
         def invalidate(name: str, _block: LogBlock, _data: bytes) -> None:
             self.cache.invalidate_block(name)
             self._box_cache.pop(name)
+            # Every commit advances the archive generation, so fragments
+            # located before the append can never be served afterwards.
+            bump_generation(self.store)
 
         with tracer.span("compress") as cspan:
             scheduler = CompressionScheduler(
@@ -265,7 +309,7 @@ class LogGrep:
             command, OutputMode.LINES, ignore_case,
             from_time=from_time, to_time=to_time,
         )
-        result = self._executor.run(plan)
+        result = self._run(plan)
         logger.debug(
             "grep %r: %d hit(s) in %.1fms (%d capsules opened, %d filtered, "
             "%d blocks pruned)",
@@ -329,7 +373,127 @@ class LogGrep:
             command, OutputMode.COUNT, ignore_case,
             from_time=from_time, to_time=to_time,
         )
-        return self._executor.run(plan).count
+        return self._run(plan).count
+
+    def _run(self, plan: QueryPlan) -> ExecutionResult:
+        """One plan through the configured path: the shared-scan batch
+        executor when ``config.batch_scans`` is on (a batch of one — same
+        results and accounting, but it warms and consults the fragment
+        cache), the sequential executor otherwise."""
+        if self.config.batch_scans and plan.mode in BATCHABLE_MODES:
+            results, _ = self._batch.run_batch([plan])
+            return results[0]
+        return self._executor.run(plan)
+
+    # ------------------------------------------------------------------
+    # multi-query shared scans
+    # ------------------------------------------------------------------
+    def grep_many(
+        self,
+        commands: List[str],
+        ignore_case: bool = False,
+        from_time: Optional[float] = None,
+        to_time: Optional[float] = None,
+        ledgered: Optional[bool] = None,
+    ) -> List[GrepResult]:
+        """Run many grep commands in one shared-scan pass.
+
+        Results are positionally aligned with *commands* and identical
+        to ``[self.grep(c) for c in commands]``; the archive is walked
+        once — prune decisions, box opens and per-term matching are
+        shared across the batch (see :mod:`repro.query.batch`).  The
+        shared-cost ledger of the pass lands in ``last_batch_report``.
+        """
+        plans = [
+            build_plan(
+                command, OutputMode.LINES, ignore_case,
+                from_time=from_time, to_time=to_time,
+            )
+            for command in commands
+        ]
+        results, self.last_batch_report = self._batch.run_batch(
+            plans, ledgered=ledgered
+        )
+        return [
+            GrepResult(
+                [text for _, text in result.entries],
+                [line_id for line_id, _ in result.entries],
+                result.stats,
+                result.elapsed,
+                result.ledger,
+            )
+            for result in results
+        ]
+
+    def count_many(
+        self,
+        commands: List[str],
+        ignore_case: bool = False,
+        ledgered: Optional[bool] = None,
+    ) -> List[int]:
+        """Matching-entry counts for many commands, one shared pass."""
+        plans = [
+            build_plan(command, OutputMode.COUNT, ignore_case)
+            for command in commands
+        ]
+        results, self.last_batch_report = self._batch.run_batch(
+            plans, ledgered=ledgered
+        )
+        return [result.count for result in results]
+
+    def aggregate_many(
+        self,
+        specs: List[Tuple[AggregateSpec, Optional[str]]],
+        ignore_case: bool = False,
+        ledgered: Optional[bool] = None,
+    ) -> List[AggregateResult]:
+        """Run many ``(spec, where)`` aggregates in one shared-scan pass.
+
+        Equivalent to ``[self.aggregate(s, w) for s, w in specs]`` with
+        the block walk, pruning and WHERE matching shared — overlapping
+        WHERE filters (the dashboard pattern) resolve each term once.
+        """
+        plans = [
+            build_aggregate_plan(
+                spec, where, OutputMode.AGGREGATE, ignore_case
+            )
+            for spec, where in specs
+        ]
+        results, self.last_batch_report = self._batch.run_batch(
+            plans, ledgered=ledgered
+        )
+        out: List[AggregateResult] = []
+        for (spec, _), result in zip(specs, results):
+            partial = (
+                result.aggregate
+                if result.aggregate is not None
+                else make_partial(spec)
+            )
+            out.append(
+                AggregateResult(
+                    partial.finalize(spec),
+                    result.count,
+                    result.stats,
+                    result.elapsed,
+                    result.ledger,
+                )
+            )
+        return out
+
+    def admission_queue(
+        self, window_s: float = 0.002, max_batch: int = 64
+    ) -> AdmissionQueue:
+        """A coalescing front door over this archive: plans submitted
+        within *window_s* of each other run as one shared-scan batch.
+        Callers own the queue (``close()`` it when done)."""
+        return AdmissionQueue(
+            self._batch.run_batch, window_s=window_s, max_batch=max_batch
+        )
+
+    @property
+    def batch_executor(self) -> BatchExecutor:
+        """The shared-scan layer (public for the cluster and tests)."""
+        return self._batch
 
     # ------------------------------------------------------------------
     # aggregation (pushdown: executed as the Aggregate pipeline operator)
@@ -362,7 +526,7 @@ class LogGrep:
         """
         mode = OutputMode.ANALYZE if analyze else OutputMode.AGGREGATE
         plan = build_aggregate_plan(spec, where, mode, ignore_case)
-        result = self._executor.run(plan)
+        result = self._run(plan)
         partial = (
             result.aggregate
             if result.aggregate is not None

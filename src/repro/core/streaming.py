@@ -56,6 +56,7 @@ from ..common.tokenizer import tokenize
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from ..query.executor import QueryExecutor, StoreBoxSource
+from ..query.fragcache import bump_generation
 from ..staticparse.cache import TemplateCache
 from ..staticparse.parser import BlockParser, Group, ParsedBlock
 from ..staticparse.template import Template
@@ -279,6 +280,10 @@ class StreamingCompressor:
         with self._lock:
             self._parsed_pending.pop(block.block_id, None)
             self._tail_version += 1
+        # The archive's block set changed: advance the persisted
+        # generation so predicate-fragment caches keyed on it (see
+        # repro/query/fragcache.py) cannot serve pre-commit row sets.
+        bump_generation(self.store)
 
     # ------------------------------------------------------------------
     # the hot tail

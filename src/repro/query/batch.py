@@ -1,0 +1,713 @@
+"""Multi-query shared-scan execution: one block pass, many plans.
+
+The sequential executor treats every query as a private pass: N
+concurrent queries over one archive pay N× prune evaluations, N×
+LoadBox/capsule fetches and N× Match per shared search string.  The
+:class:`BatchExecutor` runs a set of admitted plans in a **single
+block-ordered pass** instead:
+
+* **Shared prune** — TimePrune stays per-plan (it only compares two
+  numbers), but Bloom/stamp decisions are computed once per ``(block,
+  distinct normalized term)`` and reused by every plan containing that
+  term; a plan survives when any of its disjuncts has all positive
+  terms alive — exactly the fold :func:`summary_might_match` performs,
+  so batched pruning equals sequential pruning decision-for-decision.
+* **Shared LoadBox** — one box open (one set of ranged header/metadata
+  reads) per block that any surviving plan needs, reused by all of
+  them; one :class:`BlockEngine` per block shares its vector-reader
+  cache across plans, so a capsule decompressed for plan 1's match is
+  free for plan 2's reconstruction.
+* **Shared Match** — each distinct term is resolved once per block (the
+  first plan that needs it pays), memoized for the rest, and published
+  to the cross-batch :class:`~repro.query.fragcache.FragmentCache`
+  keyed by archive generation.  On a warm cache a block is evaluated
+  purely in row-set algebra: COUNT/ROWS plans and empty LINES blocks
+  skip LoadBox entirely.
+* **Per-plan fan-out** — Locate's disjunct fold, Aggregate and
+  Reconstruct run per plan, producing results identical to running the
+  plans sequentially (same entries, same counts, same partials).
+
+**Ledger attribution.**  Shared work (prune reads, LoadBox) is charged
+to one *batch ledger*; per-plan work (match, aggregate, reconstruct —
+including the capsule fetches they trigger) is charged to that plan's
+own ledger, first-requester-pays for shared terms.  Every store read
+lands in exactly one ledger, so::
+
+    sum(per-plan ledger bytes) + batch ledger bytes
+        == loggrep_store_range_read_bytes_total delta
+
+which the end-to-end reconciliation tests assert.
+
+:class:`AdmissionQueue` is the service front door: queries submitted
+within a small window coalesce into one batch, so bursty dashboard
+traffic becomes cheaper than sequential instead of N× sequential.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..common.errors import BudgetExceeded
+from ..common.rowset import RowSet
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
+from .aggregate import AggregatePartial, make_partial
+from .blockfilter import summary_term_might_match, term_might_match
+from .engine import BlockEngine, GroupRows, _difference, _intersect, _union
+from .executor import (
+    _AGG_PARTIALS,
+    _AGG_QUERIES,
+    _AGG_ROWS,
+    BlockOutcome,
+    Entry,
+    ExecutionResult,
+    QueryExecutor,
+)
+from .fragcache import FragmentCache, load_generation
+from .language import SearchString
+from .plan import OutputMode, QueryPlan
+from .stats import NULL_LEDGER, QueryLedger, QueryStats
+
+_BATCH_QUERIES = get_registry().counter(
+    "loggrep_batch_queries_total",
+    "Plans executed through the shared-scan batch executor",
+)
+_BATCH_BATCHES = get_registry().counter(
+    "loggrep_batch_runs_total", "Shared-scan batch passes executed"
+)
+_BATCH_SHARED_LOADS = get_registry().counter(
+    "loggrep_batch_shared_block_loads_total",
+    "Blocks loaded once and shared across a batch's plans",
+)
+
+#: Output modes the shared-scan pass handles; EXPLAIN/ANALYZE render
+#: per-operator reports that assume a private pass and stay sequential.
+BATCHABLE_MODES = (
+    OutputMode.LINES,
+    OutputMode.COUNT,
+    OutputMode.AGGREGATE,
+    OutputMode.ROWS,
+)
+
+
+@dataclass
+class BatchReport:
+    """What one shared-scan pass did, beyond the per-plan results."""
+
+    queries: int = 0
+    blocks: int = 0
+    generation: int = 0
+    #: Boxes opened once for the whole batch (the shared LoadBox count).
+    shared_loads: int = 0
+    elapsed: float = 0.0
+    #: Shared-cost accounting: prune + LoadBox reads.  Per-plan ledgers
+    #: on the :class:`ExecutionResult`s carry the attributed remainder.
+    ledger: QueryLedger = NULL_LEDGER
+    #: Deep counters of shared work (capsules decompressed during the
+    #: shared engine's reader warm-up, etc.).
+    stats: QueryStats = field(default_factory=QueryStats)
+
+
+class _Unresolved(Exception):
+    """A cached-only evaluation needed a term the cache does not hold."""
+
+
+class BatchExecutor:
+    """Runs many plans over one archive in a single block-ordered pass."""
+
+    def __init__(
+        self,
+        executor: QueryExecutor,
+        fragments: Optional[FragmentCache] = None,
+    ):
+        self.executor = executor
+        self.source = executor.source
+        self.config = executor.config
+        self.fragments = fragments
+
+    # ------------------------------------------------------------------
+    # batch driver
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        plans: Sequence[QueryPlan],
+        ledgered: Optional[bool] = None,
+    ) -> Tuple[List[ExecutionResult], BatchReport]:
+        """Execute *plans* with shared prune/LoadBox/Match.
+
+        Results are positionally aligned with *plans* and identical to
+        ``[executor.run(p) for p in plans]`` up to accounting detail.
+        ``ledgered`` forces resource accounting on (reconciliation
+        tests) or off; by default each plan follows the same activation
+        rule as the sequential executor.
+        """
+        start = time.perf_counter()
+        report = BatchReport(queries=len(plans))
+        if not plans:
+            return [], report
+        results: List[Optional[ExecutionResult]] = [None] * len(plans)
+        batched: List[Tuple[int, QueryPlan]] = []
+        for i, plan in enumerate(plans):
+            if plan.mode in BATCHABLE_MODES:
+                batched.append((i, plan))
+            else:
+                # EXPLAIN/ANALYZE render private-pass reports; run them
+                # through the sequential pipeline unchanged.
+                results[i] = self.executor.run(plan)
+        if batched:
+            self._run_shared(batched, results, report, ledgered)
+        report.elapsed = time.perf_counter() - start
+        _BATCH_QUERIES.inc(len(plans))
+        _BATCH_BATCHES.inc()
+        return [r for r in results if r is not None], report
+
+    # ------------------------------------------------------------------
+    def run_block(
+        self, name: str, plans: Sequence[QueryPlan]
+    ) -> Tuple[List[BlockOutcome], List[QueryStats], QueryStats]:
+        """One shared pass over a single named block.
+
+        This is the unit a cluster worker serves: the coordinator ships
+        every concurrent plan in one RPC and the replica opens the block
+        once for all of them.  Returns positionally-aligned outcomes and
+        per-plan stats, plus the shared engine stats (capsules touched
+        by first-requester Match work — per block, not per plan, so the
+        caller accounts them once instead of N times).
+        """
+        plans = list(plans)
+        stats = [QueryStats() for _ in plans]
+        ledgers: List[QueryLedger] = [NULL_LEDGER for _ in plans]
+        generation = 0
+        if self.fragments is not None:
+            generation = load_generation(self.source.store)
+            self.fragments.set_generation(generation)
+        report = BatchReport(
+            queries=len(plans), blocks=1, generation=generation
+        )
+        outcomes = self._block_pass(
+            name, plans, stats, ledgers, NULL_LEDGER, generation, report
+        )
+        shared = report.stats if len(plans) > 1 else QueryStats()
+        return outcomes, stats, shared
+
+    # ------------------------------------------------------------------
+    def _run_shared(
+        self,
+        batched: List[Tuple[int, QueryPlan]],
+        results: List[Optional[ExecutionResult]],
+        report: BatchReport,
+        ledgered: Optional[bool],
+    ) -> None:
+        tracer = get_tracer()
+        plans = [plan for _, plan in batched]
+        if ledgered is None:
+            ledgers = [self.executor._make_ledger(p.mode) for p in plans]
+        elif ledgered:
+            ledgers = [QueryLedger() for _ in plans]
+        else:
+            ledgers = [NULL_LEDGER for _ in plans]
+        # A single-plan batch has nobody to share with: charging "shared"
+        # work to the one plan's ledger makes its bill (and its budget
+        # enforcement) identical to the sequential executor's.  The
+        # report then carries no separate batch cost, so reconciliation
+        # never double-counts.
+        if len(plans) == 1:
+            batch_ledger: QueryLedger = ledgers[0]
+            report.ledger = NULL_LEDGER
+        else:
+            batch_ledger = (
+                QueryLedger()
+                if any(ledger.enabled for ledger in ledgers)
+                else NULL_LEDGER
+            )
+            report.ledger = batch_ledger
+        stats = [QueryStats() for _ in plans]
+        generation = 0
+        if self.fragments is not None:
+            generation = load_generation(self.source.store)
+            self.fragments.set_generation(generation)
+        report.generation = generation
+        start = time.perf_counter()
+        names = self.source.names()
+        report.blocks = len(names)
+        with tracer.span(
+            "batch", queries=len(plans), blocks=len(names)
+        ) as bspan:
+            try:
+                per_block = self._schedule(
+                    names, plans, ledgers, batch_ledger, generation, bspan,
+                    report,
+                )
+            except BudgetExceeded as exc:
+                # _schedule's finally already folded the per-block
+                # children, so the exception carries a consistent
+                # partial bill (the tripped plan's when unambiguous).
+                exc.ledger = ledgers[0] if len(plans) == 1 else batch_ledger
+                raise
+            bspan.set("shared_loads", report.shared_loads)
+        elapsed = time.perf_counter() - start
+        # -- per-plan merge, mirroring QueryExecutor.run's fold
+        for pos, (i, plan) in enumerate(batched):
+            entries: List[Entry] = []
+            rowsets: Dict[str, GroupRows] = {}
+            merged: Optional[AggregatePartial] = None
+            total = 0
+            for outcomes, block_stats in per_block:
+                outcome = outcomes[pos]
+                stats[pos].merge(block_stats[pos])
+                entries.extend(outcome.entries)
+                total += outcome.count
+                if outcome.rows is not None:
+                    rowsets[outcome.name] = outcome.rows
+                if outcome.partial is not None:
+                    if merged is None:
+                        merged = make_partial(plan.aggregate)
+                    merged.merge(outcome.partial)
+                    _AGG_PARTIALS.inc()
+            entries.sort(key=lambda item: item[0])
+            stats[pos].entries_matched = total
+            if plan.aggregate is not None:
+                if merged is None:
+                    merged = make_partial(plan.aggregate)
+                _AGG_QUERIES.inc(kind=plan.aggregate.kind.value)
+                _AGG_ROWS.inc(merged.rows)
+            stats[pos].publish(elapsed)
+            self.executor._maybe_log_slow(plan, stats[pos], ledgers[pos], elapsed)
+            results[i] = ExecutionResult(
+                plan, entries, stats[pos], elapsed, [], ledgers[pos],
+                merged, rowsets,
+            )
+        report.queries = len(results)
+
+    def _schedule(
+        self,
+        names: List[str],
+        plans: List[QueryPlan],
+        ledgers: List[QueryLedger],
+        batch_ledger: QueryLedger,
+        generation: int,
+        bspan: object,
+        report: BatchReport,
+    ) -> List[Tuple[List[BlockOutcome], List[QueryStats]]]:
+        """One shared pass per block, serial or thread-pooled (the same
+        ``query_parallelism`` knob as the sequential scheduler)."""
+        tracer = get_tracer()
+        parallelism = getattr(self.config, "query_parallelism", 1)
+
+        def run_one(
+            name: str, spawn: bool = True
+        ) -> Tuple[List[BlockOutcome], List[QueryStats]]:
+            block_ledgers = (
+                [ledger.spawn() for ledger in ledgers] if spawn else ledgers
+            )
+            block_batch_ledger = batch_ledger.spawn() if spawn else batch_ledger
+            block_stats = [QueryStats() for _ in plans]
+            with tracer.span("block", parent=bspan, block=name):
+                outcomes = self._block_pass(
+                    name, plans, block_stats, block_ledgers,
+                    block_batch_ledger, generation, report,
+                )
+            return outcomes, block_stats
+
+        try:
+            if parallelism > 1 and len(names) > 1:
+                from concurrent.futures import ThreadPoolExecutor
+
+                with ThreadPoolExecutor(parallelism) as pool:
+                    pairs = list(pool.map(run_one, names))
+            else:
+                pairs = [run_one(name, spawn=False) for name in names]
+        finally:
+            batch_ledger.merge_children()
+            for ledger in ledgers:
+                ledger.merge_children()
+        return pairs
+
+    # ------------------------------------------------------------------
+    # the shared per-block pass
+    # ------------------------------------------------------------------
+    def _block_pass(
+        self,
+        name: str,
+        plans: List[QueryPlan],
+        stats: List[QueryStats],
+        ledgers: List[QueryLedger],
+        batch_ledger: QueryLedger,
+        generation: int,
+        report: BatchReport,
+    ) -> List[BlockOutcome]:
+        executor = self.executor
+        tracer = get_tracer()
+        fragments = self.fragments
+        outcomes: List[Optional[BlockOutcome]] = [None] * len(plans)
+        for st in stats:
+            st.blocks_visited += 1
+        box = self.source.cached(name)
+        if self.source.box_cache is not None:
+            batch_ledger.charge_box_cache(box is not None)
+        settings = executor._settings()
+        use_bloom = bool(getattr(self.config, "use_block_bloom", False))
+        summary = (
+            self.source.summary(name)
+            if getattr(self.config, "use_prune_index", True)
+            else None
+        )
+        # -- shared BloomPrune state: one decision per distinct term,
+        # computed lazily on first use and reused by every plan.
+        prune_memo: Dict[str, bool] = {}
+        bloom_state: Dict[str, object] = {"loaded": False, "bloom": None,
+                                          "data": None}
+
+        def term_alive(term) -> bool:
+            if term.negated:
+                return True
+            key = term.search.cache_key
+            alive = prune_memo.get(key)
+            if alive is None:
+                if summary is not None:
+                    alive = summary_term_might_match(
+                        summary,
+                        term,
+                        use_stamps=getattr(settings, "use_stamps", True),
+                        use_bloom=use_bloom,
+                    )
+                else:
+                    if not bloom_state["loaded"]:
+                        with tracer.span("block_filter"), batch_ledger.operator(
+                            "block_filter"
+                        ):
+                            bloom, data = executor._read_bloom(name)
+                        bloom_state.update(
+                            loaded=True, bloom=bloom, data=data
+                        )
+                    bloom = bloom_state["bloom"]
+                    alive = bloom is None or term_might_match(bloom, term)  # type: ignore[arg-type]
+                prune_memo[key] = alive
+            return alive
+
+        def sealed(out: List[Optional[BlockOutcome]]) -> List[BlockOutcome]:
+            # Positional alignment with *plans* is load-bearing; a hole
+            # would silently shift every later plan's outcome.
+            return [o if o is not None else BlockOutcome(name) for o in out]
+
+        live: List[int] = []
+        for i, plan in enumerate(plans):
+            # -- TimePrune (per plan: two float comparisons, no sharing
+            # needed; zero store reads either way)
+            if (
+                box is None
+                and summary is not None
+                and (plan.from_time is not None or plan.to_time is not None)
+                and not summary.in_time_range(plan.from_time, plan.to_time)
+            ):
+                stats[i].blocks_pruned += 1
+                stats[i].blocks_time_pruned += 1
+                outcomes[i] = BlockOutcome(name, pruned=True)
+                continue
+            # -- shared BloomPrune: any disjunct with all terms alive
+            if (
+                box is None
+                and plan.disjuncts
+                and (use_bloom or summary is not None)
+            ):
+                survives = any(
+                    all(term_alive(term) for term in disjunct.terms)
+                    for disjunct in plan.disjuncts
+                )
+                if not survives:
+                    stats[i].blocks_pruned += 1
+                    outcomes[i] = BlockOutcome(name, pruned=True)
+                    continue
+            live.append(i)
+        if not live:
+            return sealed(outcomes)
+
+        # -- shared Match memo: term key -> row sets, resolved at most
+        # once per block per batch (cache first, engine second).
+        term_rows: Dict[str, GroupRows] = {}
+        probed_missing: set = set()
+
+        def cached_term_rows(search: SearchString) -> Optional[GroupRows]:
+            key = search.cache_key
+            rows = term_rows.get(key)
+            if rows is not None:
+                return rows
+            if fragments is None or key in probed_missing:
+                return None
+            rows = fragments.get(generation, name, key)
+            if rows is None:
+                probed_missing.add(key)
+                return None
+            term_rows[key] = rows
+            return rows
+
+        def locate(
+            plan: QueryPlan,
+            resolve: Callable[[SearchString], GroupRows],
+            full: Callable[[], GroupRows],
+        ) -> GroupRows:
+            # The engine's disjunct fold verbatim (same short-circuits,
+            # so batched row sets equal sequential row sets).
+            total: GroupRows = {}
+            for disjunct in plan.disjuncts:
+                acc = full()
+                for term in disjunct.terms:
+                    rows = resolve(term.search)
+                    if term.negated:
+                        acc = _difference(acc, rows)
+                    else:
+                        acc = _intersect(acc, rows)
+                    if not acc:
+                        break
+                total = _union(total, acc)
+            return {g: rs for g, rs in total.items() if rs}
+
+        # -- warm fast path: with the block's shape and every needed
+        # fragment cached, Locate is pure row-set algebra — COUNT/ROWS
+        # plans and miss-everything LINES plans never open the box.
+        need_box: List[int] = []
+        shape = (
+            fragments.get_shape(generation, name)
+            if fragments is not None and box is None
+            else None
+        )
+        hits_by_plan: Dict[int, GroupRows] = {}
+        def full_from_shape() -> GroupRows:
+            return {g: RowSet.full(n) for g, n in enumerate(shape) if n}  # type: ignore[arg-type]
+
+        for i in live:
+            plan = plans[i]
+            if shape is None:
+                need_box.append(i)
+                continue
+            resolved = [0]  # committed only on success (no double count
+            # with the engine-path resolver after an _Unresolved abort)
+
+            def resolve_cached(search: SearchString) -> GroupRows:
+                rows = cached_term_rows(search)
+                if rows is None:
+                    raise _Unresolved(search.cache_key)
+                resolved[0] += 1  # noqa: B023
+                return rows
+
+            try:
+                hits = (
+                    locate(plan, resolve_cached, full_from_shape)
+                    if plan.disjuncts
+                    else full_from_shape()
+                )
+            except _Unresolved:
+                need_box.append(i)
+                continue
+            stats[i].cache_hits += resolved[0]
+            count = sum(len(rows) for rows in hits.values())
+            if plan.mode is OutputMode.COUNT:
+                outcomes[i] = BlockOutcome(name, count=count)
+            elif plan.mode is OutputMode.ROWS:
+                outcomes[i] = BlockOutcome(
+                    name, count=count,
+                    rows={g: rows for g, rows in hits.items() if rows},
+                )
+            elif plan.aggregate is not None and not hits:
+                outcomes[i] = BlockOutcome(
+                    name, count=0, partial=make_partial(plan.aggregate)
+                )
+            elif plan.mode is OutputMode.LINES and not hits:
+                outcomes[i] = BlockOutcome(name, count=0)
+            else:
+                # LINES with hits / non-empty aggregates reconstruct or
+                # fold real values: the box is needed after all, but the
+                # located rows are kept.
+                hits_by_plan[i] = hits
+                need_box.append(i)
+        if not need_box:
+            return sealed(outcomes)
+
+        # -- shared LoadBox: one open for every plan that needs it
+        if box is None:
+            with tracer.span("load_box"), batch_ledger.operator("load_box"):
+                box = executor._open_box(name, bloom_state["data"])  # type: ignore[arg-type]
+            report.shared_loads += 1
+            _BATCH_SHARED_LOADS.inc()
+            if fragments is not None:
+                fragments.put_shape(
+                    generation, name,
+                    tuple(group.num_entries for group in box.groups),
+                )
+        engine_stats = QueryStats()
+        engine = BlockEngine(box, settings, engine_stats)
+        use_qcache = (
+            executor.cache is not None
+            and getattr(self.config, "use_query_cache", False)
+        )
+
+        for i in need_box:
+            plan = plans[i]
+            ledger = ledgers[i]
+            plan_stats = stats[i]
+            match_timer = ledger.operator("match")
+
+            def resolve(search: SearchString) -> GroupRows:
+                key = search.cache_key
+                rows = cached_term_rows(search)
+                if rows is not None:
+                    plan_stats.cache_hits += 1  # noqa: B023
+                    return rows
+                if use_qcache:
+                    rows = executor.cache.get(name, key)  # type: ignore[union-attr]
+                    if rows is not None:
+                        term_rows[key] = rows
+                        # Publish query-cache hits into the fragment
+                        # cache too — otherwise an archive whose terms
+                        # were warmed by *sequential* queries would
+                        # never reach the box-free warm path.
+                        if fragments is not None:
+                            fragments.put(generation, name, key, rows)
+                        plan_stats.cache_hits += 1  # noqa: B023
+                        return rows
+                # First plan to need this term pays its Match; the memo
+                # and the fragment cache make it free for everyone else.
+                with tracer.span(
+                    "match", search=key
+                ), match_timer:  # noqa: B023
+                    rows = engine.search_string_rows(search)
+                term_rows[key] = rows
+                if use_qcache:
+                    executor.cache.put(name, key, rows)  # type: ignore[union-attr]
+                if fragments is not None:
+                    fragments.put(generation, name, key, rows)
+                return rows
+
+            hits = hits_by_plan.get(i)
+            if hits is None:
+                with tracer.span("locate"), ledger.operator("locate"):
+                    hits = (
+                        locate(plan, resolve, engine.full_rows)
+                        if plan.disjuncts
+                        else engine.full_rows()
+                    )
+            count = sum(len(rows) for rows in hits.values())
+            if plan.mode is OutputMode.ROWS:
+                outcomes[i] = BlockOutcome(
+                    name, count=count,
+                    rows={g: rows for g, rows in hits.items() if rows},
+                )
+                continue
+            if plan.aggregate is not None:
+                with tracer.span(
+                    "aggregate", kind=plan.aggregate.kind.value
+                ), ledger.operator("aggregate"):
+                    partial = executor._aggregate_block(
+                        box, engine, plan.aggregate, hits
+                    )
+                outcomes[i] = BlockOutcome(name, count=count, partial=partial)
+                continue
+            entries: List[Entry] = []
+            if plan.mode is OutputMode.LINES and hits:
+                from ..core.reconstructor import BlockReconstructor
+
+                with tracer.span("reconstruct"), ledger.operator(
+                    "reconstruct"
+                ):
+                    box.prefetch(hits.keys())
+                    reconstructor = BlockReconstructor(
+                        box, settings, plan_stats, readers=engine.readers
+                    )
+                    entries = reconstructor.reconstruct(hits)
+            outcomes[i] = BlockOutcome(name, entries=entries, count=count)
+
+        # Deep engine charges (capsule decompressions during shared
+        # matching) are per-block, not per-plan; a single-plan batch
+        # folds them into its one query so its stats equal sequential
+        # stats, a multi-plan batch reports them as shared batch cost.
+        if len(plans) == 1:
+            stats[0].merge(engine_stats)
+        else:
+            report.stats.merge(engine_stats)
+        return sealed(outcomes)
+
+
+# ----------------------------------------------------------------------
+# admission queue: the coalescing front door
+# ----------------------------------------------------------------------
+class AdmissionQueue:
+    """Coalesces queries arriving within a small window into one batch.
+
+    ``submit`` returns a future immediately; a worker thread waits
+    ``window_s`` after the first arrival, drains everything admitted in
+    the meantime (up to ``max_batch``) and runs one shared-scan pass
+    over them.  Callers block only on their own future, so admission
+    order does not constrain completion order.
+    """
+
+    def __init__(
+        self,
+        run_batch: Callable[
+            [List[QueryPlan]], Tuple[List[ExecutionResult], BatchReport]
+        ],
+        window_s: float = 0.002,
+        max_batch: int = 64,
+    ):
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self._run_batch = run_batch
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._pending: List[Tuple[QueryPlan, "Future[ExecutionResult]"]] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self.batches = 0
+        self._worker = threading.Thread(
+            target=self._drain_loop, name="loggrep-admission", daemon=True
+        )
+        self._worker.start()
+
+    def submit(self, plan: QueryPlan) -> "Future[ExecutionResult]":
+        future: "Future[ExecutionResult]" = Future()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("admission queue is closed")
+            self._pending.append((plan, future))
+            self._cond.notify()
+        return future
+
+    def close(self) -> None:
+        """Drain what is pending, then stop the worker."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify()
+        self._worker.join()
+
+    # ------------------------------------------------------------------
+    def _drain_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if not self._pending and self._closed:
+                    return
+                closed = self._closed
+            if not closed and self.window_s > 0:
+                time.sleep(self.window_s)  # let the burst coalesce
+            with self._cond:
+                admitted = self._pending[: self.max_batch]
+                del self._pending[: self.max_batch]
+            if not admitted:
+                continue
+            self.batches += 1
+            plans = [plan for plan, _ in admitted]
+            try:
+                results, _ = self._run_batch(plans)
+            except BudgetExceeded as exc:
+                for _, future in admitted:
+                    future.set_exception(exc)
+            except Exception as exc:  # noqa: BLE001 - deliver, don't die
+                for _, future in admitted:
+                    future.set_exception(exc)
+            else:
+                for (_, future), result in zip(admitted, results):
+                    future.set_result(result)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 import weakref
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import Callable, Dict, List, Optional
 
 from ..common.rowset import RowSet
@@ -148,7 +148,18 @@ class CapsuleValueCache:
         self._entries: "OrderedDict[int, List[str]]" = OrderedDict()
         self._finalizers: Dict[int, weakref.finalize] = {}
         self._weight = 0
-        self._lock = threading.Lock()
+        # Reentrant as defense in depth: _discard is a weakref.finalize
+        # callback, so the GC can fire it on THIS thread while _store
+        # holds the lock (any allocation inside the critical section may
+        # trigger a collection) — a plain Lock would self-deadlock.
+        self._lock = threading.RLock()
+        # Keys whose Capsules the GC collected, reaped lazily by the
+        # live paths.  deque.append is atomic and lock-free, which is
+        # the only kind of work a GC-context callback may do: it can
+        # interrupt a thread that holds ANY lock in the process (this
+        # cache's, the metrics registry's, ...), so taking one — even a
+        # different one — risks a self-deadlock.
+        self._dead: "deque[int]" = deque()
 
     # ------------------------------------------------------------------
     def get(
@@ -162,6 +173,10 @@ class CapsuleValueCache:
         """
         key = id(capsule)
         with self._lock:
+            # Reap before looking up: a collected Capsule's id can be
+            # recycled by a new one, and its queued-dead entry must not
+            # serve the old column.
+            self._reap()
             values = self._entries.get(key)
             if values is not None:
                 self._entries.move_to_end(key)
@@ -179,6 +194,7 @@ class CapsuleValueCache:
         """The cached values of *capsule*, or None — never decodes."""
         key = id(capsule)
         with self._lock:
+            self._reap()
             values = self._entries.get(key)
             if values is not None:
                 self._entries.move_to_end(key)
@@ -199,6 +215,7 @@ class CapsuleValueCache:
         if weight > self.capacity_values:
             return  # larger than the whole cache: not worth caching
         with self._lock:
+            self._reap()
             if key not in self._entries:
                 self._weight += weight
                 self._finalizers[key] = weakref.finalize(
@@ -216,13 +233,22 @@ class CapsuleValueCache:
             self._publish_gauges()
 
     def _discard(self, key: int) -> None:
-        """weakref.finalize callback: the Capsule was garbage-collected."""
-        with self._lock:
+        """weakref.finalize callback: the Capsule was garbage-collected.
+
+        Runs in GC context, possibly mid-bytecode on a thread that holds
+        unrelated locks — so it must not lock, publish metrics, or touch
+        the entry maps.  It only records the key; _reap does the rest.
+        """
+        self._dead.append(key)
+
+    def _reap(self) -> None:
+        """Drop entries whose Capsules were collected (lock held)."""
+        while self._dead:
+            key = self._dead.popleft()
             values = self._entries.pop(key, None)
             if values is not None:
                 self._weight -= max(1, len(values))
             self._finalizers.pop(key, None)
-            self._publish_gauges()
 
     def _publish_gauges(self) -> None:
         _VALUE_ENTRIES.set(len(self._entries))
@@ -233,6 +259,7 @@ class CapsuleValueCache:
         if capacity_values <= 0:
             raise ValueError("value cache capacity must be positive")
         with self._lock:
+            self._reap()
             self.capacity_values = capacity_values
             while self._weight > self.capacity_values and self._entries:
                 old_key, old_values = self._entries.popitem(last=False)
@@ -249,15 +276,20 @@ class CapsuleValueCache:
                 finalizer.detach()
             self._entries.clear()
             self._finalizers.clear()
+            self._dead.clear()
             self._weight = 0
             self._publish_gauges()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            self._reap()
+            return len(self._entries)
 
     @property
     def cached_values(self) -> int:
-        return self._weight
+        with self._lock:
+            self._reap()
+            return self._weight
 
 
 #: Process-wide decoded-value cache.  Capsule identity keys make sharing

@@ -1,0 +1,202 @@
+"""Cross-query predicate-fragment cache + the archive generation token.
+
+The shared-scan batch executor (:mod:`repro.query.batch`) memoizes the
+smallest reusable unit of Match work: the per-block row set of one
+normalized search string — a **predicate fragment**.  Fragments compose
+under the engine's AND/OR/NOT row-set algebra, so *overlapping* queries
+(``ERROR``, ``ERROR AND timeout``, ``ERROR OR WARN``) share work even
+when no two queries are textually equal, and a *repeated* query skips
+Locate/Match entirely and goes straight to Reconstruct/Aggregate.
+
+Entries are keyed by ``(archive generation, block name, term key)``.
+The **generation** is a monotonic counter persisted as an auxiliary blob
+next to the blocks (the ``tiers.json`` pattern), bumped by every writer
+that can change the bytes behind an existing block name:
+
+* ``compress``/streaming commit (append/seal of new blocks),
+* ``lifecycle demote`` to WARM (block-for-block rewrite, same names),
+* ``lifecycle demote`` to COLD (merge + shared-template-store rewrite).
+
+Readers load the generation once per batch; a bumped generation makes
+every older fragment unreachable (the key no longer matches) and
+:meth:`FragmentCache.set_generation` eagerly drops them, counted by
+``loggrep_fragcache_invalidations_total``.  Because invalidation rides
+an archive-associated token rather than in-process callbacks, a cache
+shared across LogGrep handles — or held across a demotion performed by
+a separate :class:`~repro.core.lifecycle.LifecycleManager` — can never
+serve stale rows.
+
+Alongside term fragments the cache memoizes each block's **shape** (the
+per-group row counts) under a reserved key, so a fully-warm block can be
+evaluated purely in row-set algebra: COUNT-mode queries touch neither
+the store nor the box.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..obs import ledger as ledger_channel
+from ..obs.metrics import get_registry
+from .engine import GroupRows
+
+_HITS = get_registry().counter(
+    "loggrep_fragcache_hits_total", "Fragment cache lookups that hit"
+)
+_MISSES = get_registry().counter(
+    "loggrep_fragcache_misses_total", "Fragment cache lookups that missed"
+)
+_EVICTIONS = get_registry().counter(
+    "loggrep_fragcache_evictions_total", "Fragments evicted by the LRU bound"
+)
+_INVALIDATIONS = get_registry().counter(
+    "loggrep_fragcache_invalidations_total",
+    "Fragments dropped because the archive generation advanced",
+)
+_ENTRIES = get_registry().gauge(
+    "loggrep_fragcache_entries", "Fragments currently cached"
+)
+
+DEFAULT_CAPACITY = 4096
+
+#: Aux-blob name of the per-archive generation counter.
+GENERATION_AUX_NAME = "generation.txt"
+
+#: Reserved term key for a block's shape (group -> row count).  NUL can
+#: never appear in a parsed search string, so it cannot collide.
+SHAPE_KEY = "\x00shape"
+
+
+def load_generation(store) -> int:
+    """The archive's current generation (0 for a never-bumped archive).
+
+    Tolerant of stores without aux-blob support and of unreadable blobs:
+    both read as generation 0, which is always *safe* — a reader that
+    cannot observe bumps simply keys every fragment to one generation,
+    and such stores (e.g. cluster replica holders) never rewrite a block
+    name in place.
+    """
+    try:
+        if not store.aux_exists(GENERATION_AUX_NAME):
+            return 0
+        return int(store.get_aux(GENERATION_AUX_NAME).decode("ascii"))
+    except Exception:  # noqa: BLE001 - absence and corruption read alike
+        return 0
+
+
+def bump_generation(store) -> int:
+    """Advance the archive generation; returns the new value.
+
+    Called by every writer that can change bytes behind an existing
+    block name (commit, demote, shared-store merge).  Best-effort on
+    stores without aux support — see :func:`load_generation`.
+    """
+    gen = load_generation(store) + 1
+    try:
+        store.put_aux(GENERATION_AUX_NAME, str(gen).encode("ascii"))
+    except Exception:  # noqa: BLE001
+        pass
+    return gen
+
+
+class FragmentCache:
+    """A bounded LRU of generation-keyed per-block match row sets."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("fragment cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._generation: Optional[int] = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def set_generation(self, generation: int) -> None:
+        """Pin the cache to one archive generation.
+
+        Called once per batch with the freshly-loaded token.  Fragments
+        from any other generation are unreachable by key anyway; they
+        are dropped eagerly here so a demoted archive's stale row sets
+        do not squat in the LRU, and the drop is observable via
+        ``loggrep_fragcache_invalidations_total``.
+        """
+        with self._lock:
+            if self._generation == generation:
+                return
+            self._generation = generation
+            stale = [key for key in self._entries if key[0] != generation]
+            for key in stale:
+                del self._entries[key]
+            if stale:
+                self.invalidations += len(stale)
+                _INVALIDATIONS.inc(len(stale))
+            _ENTRIES.set(len(self._entries))
+
+    # ------------------------------------------------------------------
+    def get(
+        self, generation: int, block_name: str, term_key: str
+    ) -> Optional[GroupRows]:
+        key = (generation, block_name, term_key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                _MISSES.inc()
+                ledger_channel.charge_cache("fragment", False)
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            _HITS.inc()
+            ledger_channel.charge_cache("fragment", True)
+            return entry  # type: ignore[return-value]
+
+    def put(
+        self, generation: int, block_name: str, term_key: str, rows: GroupRows
+    ) -> None:
+        self._put((generation, block_name, term_key), rows)
+
+    # ------------------------------------------------------------------
+    # block shapes — cached uncounted (they are not predicate fragments,
+    # only the full_rows() seed that lets a warm block skip LoadBox)
+    # ------------------------------------------------------------------
+    def get_shape(
+        self, generation: int, block_name: str
+    ) -> Optional[Tuple[int, ...]]:
+        key = (generation, block_name, SHAPE_KEY)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry  # type: ignore[return-value]
+
+    def put_shape(
+        self, generation: int, block_name: str, shape: Tuple[int, ...]
+    ) -> None:
+        self._put((generation, block_name, SHAPE_KEY), shape)
+
+    # ------------------------------------------------------------------
+    def _put(self, key: tuple, value: object) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                _EVICTIONS.inc()
+            _ENTRIES.set(len(self._entries))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._generation = None
+            self.hits = 0
+            self.misses = 0
+            self.invalidations = 0
+            _ENTRIES.set(0)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -93,7 +93,17 @@ class PlannedDisjunct:
 
     @classmethod
     def from_terms(cls, terms: List[Term]) -> "PlannedDisjunct":
-        planned = [PlannedTerm.from_term(term) for term in terms]
+        planned: List[PlannedTerm] = []
+        seen = set()
+        for term in terms:
+            # AND is idempotent: a literal repeated within one conjunction
+            # ("a AND a") would pay Match twice for the same row set, so
+            # identical (search, polarity) pairs collapse to one term.
+            key = (term.search.cache_key, term.negated)
+            if key in seen:
+                continue
+            seen.add(key)
+            planned.append(PlannedTerm.from_term(term))
         planned.sort(key=lambda t: (t.negated, -t.selectivity))
         return cls(planned)
 

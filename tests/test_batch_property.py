@@ -1,0 +1,129 @@
+"""Property tests for the shared-scan batch executor.
+
+The invariant: for ANY mix of grep/count/aggregate plans, ANY admission
+interleaving and ANY warm/cold fragment-cache state — including across a
+concurrent ``lifecycle demote`` generation bump — batched execution is
+result-identical to sequential execution.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import LogGrep, LogGrepConfig
+from repro.query.aggregate import AggregateSpec
+from repro.query.modes import AggregateKind
+from repro.query.plan import (
+    OutputMode,
+    build_aggregate_plan,
+    build_plan,
+)
+from tests.conftest import make_mixed_lines
+
+QUERIES = [
+    "ERROR",
+    "read",
+    "state: ERR",
+    "code=3",
+    "ERROR OR read",
+    "read NOT bk.0F",
+    "bk.?F.1*",
+    "no-such-needle-xyz",
+]
+
+SPECS = [
+    AggregateSpec(AggregateKind.COUNT_BY, "2"),
+    AggregateSpec(AggregateKind.TOP_K, "2", k=3),
+]
+
+
+@st.composite
+def plan_mixes(draw):
+    """A random batch: (kind, query) pairs over the shared vocabulary."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    mix = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["lines", "count", "aggregate"]))
+        query = draw(st.sampled_from(QUERIES))
+        spec = draw(st.sampled_from(SPECS))
+        mix.append((kind, query, spec))
+    return mix
+
+
+def build(kind, query, spec):
+    if kind == "lines":
+        return build_plan(query, OutputMode.LINES)
+    if kind == "count":
+        return build_plan(query, OutputMode.COUNT)
+    return build_aggregate_plan(
+        spec, None if query == "no-such-needle-xyz" else query
+    )
+
+
+def outcome(plan, result):
+    """A comparable projection of one ExecutionResult."""
+    if plan.aggregate is not None:
+        partial = result.aggregate
+        return (
+            "agg",
+            partial.finalize(plan.aggregate) if partial else None,
+            result.count,
+        )
+    if plan.mode is OutputMode.COUNT:
+        return ("count", result.count)
+    return ("lines", result.entries)
+
+
+class TestBatchProperty:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(plan_mixes(), st.integers(min_value=0, max_value=10_000))
+    def test_batched_equals_sequential(self, mix, seed):
+        lines = make_mixed_lines(250, seed=seed % 7)
+        lg = LogGrep(config=LogGrepConfig(block_bytes=2 * 1024))
+        lg.compress(lines)
+        plans = [build(*entry) for entry in mix]
+        want = [outcome(p, lg._executor.run(p)) for p in plans]
+        # Any admission interleaving: batches are order-insensitive, so
+        # executing a shuffled batch and unshuffling must change nothing.
+        order = list(range(len(plans)))
+        random.Random(seed).shuffle(order)
+        results, _ = lg.batch_executor.run_batch([plans[i] for i in order])
+        got = [None] * len(plans)
+        for pos, i in enumerate(order):
+            got[i] = outcome(plans[i], results[pos])
+        assert got == want
+        # Warm rerun (fragment cache fully populated) stays identical.
+        rerun, _ = lg.batch_executor.run_batch(plans)
+        assert [outcome(p, r) for p, r in zip(plans, rerun)] == want
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(plan_mixes(), st.sampled_from(["warm", "cold"]))
+    def test_batched_equals_sequential_across_demote(self, mix, tier_name):
+        """A lifecycle demotion between two batches rewrites blocks in
+        place; the generation bump must keep the second batch exact."""
+        from repro.core.lifecycle import LifecycleManager, Tier
+
+        lines = make_mixed_lines(250, seed=23)
+        lg = LogGrep(config=LogGrepConfig(block_bytes=2 * 1024))
+        lg.compress(lines)
+        plans = [build(*entry) for entry in mix]
+        # Warm the fragment cache pre-demotion.
+        lg.batch_executor.run_batch(plans)
+        manager = LifecycleManager(lg.store, lg.config)
+        manager.demote(Tier(tier_name))
+        # Same store, same (now stale-keyed) fragment cache.
+        reader = LogGrep(
+            store=lg.store, config=lg.config, fragments=lg.fragments
+        )
+        want = [outcome(p, reader._executor.run(p)) for p in plans]
+        results, _ = reader.batch_executor.run_batch(plans)
+        assert [outcome(p, r) for p, r in zip(plans, results)] == want

@@ -204,3 +204,30 @@ class TestCapsuleValueCache:
 
         with pytest.raises(ValueError):
             CapsuleValueCache(capacity_values=0)
+
+    def test_discard_reentrant_while_lock_held(self):
+        """_discard is a weakref.finalize callback, so the GC can run it
+        on the SAME thread while _store holds the cache lock (any
+        allocation in the critical section may trigger a collection).
+        With a non-reentrant lock that self-deadlocks; this pins the
+        reentrant behavior without depending on GC timing."""
+        import threading
+
+        from repro.query.cache import CapsuleValueCache
+
+        cache = CapsuleValueCache(capacity_values=10)
+        capsule = self._capsule(["a", "b"])
+        cache.get(capsule)
+
+        done = threading.Event()
+
+        def reenter():
+            with cache._lock:  # what _store holds when GC fires
+                cache._discard(id(capsule))
+            done.set()
+
+        worker = threading.Thread(target=reenter, daemon=True)
+        worker.start()
+        worker.join(timeout=5)
+        assert done.is_set(), "ValueCache._discard deadlocked under its own lock"
+        assert cache.peek(capsule) is None

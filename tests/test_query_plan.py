@@ -173,8 +173,13 @@ class TestExecutor:
         assert second.lines == first.lines
 
     def test_match_memo_respects_cache_switch(self, corpus):
+        # batch_scans pinned off: this test is about the sequential match
+        # memo, and the batched lane's fragment cache (its own knob) would
+        # otherwise report warm hits under the LOGGREP_BATCH_SCANS=1 CI leg.
         lg = LogGrep(
-            config=LogGrepConfig(block_bytes=8 * 1024, use_query_cache=False)
+            config=LogGrepConfig(
+                block_bytes=8 * 1024, use_query_cache=False, batch_scans=False
+            )
         )
         lg.compress(corpus)
         lg.grep("ERROR")
